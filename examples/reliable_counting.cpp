@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Reliable in-memory counting: accumulates a stream on a faulty CIM
+ * substrate three ways -- unprotected, TMR, and the paper's
+ * XOR-embedded ECC scheme with detect-and-retry -- and shows the
+ * row-level Hamming machinery (syndrome checks, XOR homomorphism)
+ * the scheme builds on.
+ */
+
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "core/engine.hpp"
+#include "ecc/rowcodec.hpp"
+
+using namespace c2m;
+using core::C2MEngine;
+using core::EngineConfig;
+using core::Protection;
+
+namespace {
+
+double
+runScheme(Protection prot, double fault_rate, const char *name)
+{
+    EngineConfig cfg;
+    cfg.radix = 10;
+    cfg.capacityBits = 16;
+    cfg.numCounters = 128;
+    cfg.maxMaskRows = 2;
+    cfg.protection = prot;
+    cfg.frChecks = 2;
+    cfg.maxRetries = 6;
+    cfg.faultRate = fault_rate;
+    cfg.seed = 2024;
+    C2MEngine eng(cfg);
+
+    const unsigned h = eng.addMask(std::vector<uint8_t>(128, 1));
+    Rng rng(99);
+    int64_t expected = 0;
+    for (int i = 0; i < 60; ++i) {
+        const uint64_t v = 1 + rng.nextBounded(99);
+        eng.accumulate(v, h);
+        expected += static_cast<int64_t>(v);
+    }
+
+    size_t wrong = 0;
+    double err = 0;
+    for (auto v : eng.readCounters()) {
+        if (v != expected)
+            ++wrong;
+        err += std::abs(static_cast<double>(v - expected));
+    }
+    std::printf("  %-12s wrong counters %3zu/128, total |error| "
+                "%8.0f, detected %lu, retries %lu\n",
+                name, wrong, err,
+                (unsigned long)eng.stats().faultsDetected,
+                (unsigned long)eng.stats().retries);
+    return err;
+}
+
+} // namespace
+
+int
+main()
+{
+    const double p = 5e-4;
+    std::printf("accumulating 60 values into 128 radix-10 counters "
+                "at CIM fault rate %.0e:\n", p);
+    const double e_raw = runScheme(Protection::None, p, "raw");
+    const double e_tmr = runScheme(Protection::Tmr, p, "TMR");
+    const double e_ecc = runScheme(Protection::Ecc, p, "ECC+retry");
+    std::printf("  => ECC %s TMR %s raw (lower is better)\n\n",
+                e_ecc <= e_tmr ? "<=" : ">",
+                e_tmr <= e_raw ? "<=" : ">");
+
+    // Row-level ECC machinery: XOR homomorphism + correction.
+    std::printf("row-level Hamming(72,64) lanes:\n");
+    ecc::RowCodec codec(256);
+    Rng rng(7);
+    BitVector a(codec.totalBits()), b(codec.totalBits());
+    for (size_t i = 0; i < 256; ++i) {
+        a.set(i, rng.nextBool(0.5));
+        b.set(i, rng.nextBool(0.5));
+    }
+    codec.encodeRow(a);
+    codec.encodeRow(b);
+    BitVector x(codec.totalBits());
+    x.assignXor(a, b);
+    std::printf("  parity lanes of a XOR b valid without re-encoding:"
+                " %s (the Sec. 6 homomorphism)\n",
+                codec.checkRow(x) ? "yes" : "NO");
+
+    x.set(100, !x.get(100)); // a stray CIM fault
+    std::printf("  after injecting one flip: syndrome clean? %s\n",
+                codec.checkRow(x) ? "yes (BAD)" : "no -> detected");
+    const auto fixed = codec.correctRow(x);
+    std::printf("  corrected %zu bit(s); row clean again: %s\n",
+                fixed.corrected,
+                codec.checkRow(x) ? "yes" : "NO");
+    return 0;
+}

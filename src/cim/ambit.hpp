@@ -1,0 +1,99 @@
+#ifndef C2M_CIM_AMBIT_HPP
+#define C2M_CIM_AMBIT_HPP
+
+/**
+ * @file
+ * Functional, bit-accurate interpreter for the Ambit command set.
+ *
+ * An AmbitSubarray holds the D-group rows (data), the B-group compute
+ * rows (T0..T3, DCC0/1) and executes AAP/AP command sequences exactly
+ * as multi-row activation would: a triple activation senses MAJ3 on
+ * every bitline and destructively overwrites all three activated rows
+ * with the (possibly faulted) sensed value; an AAP then overdrives the
+ * destination rows with that value, complementing through negative
+ * DCC ports.
+ *
+ * Fault injection: each triple activation flips each result bit
+ * independently with FaultModel::pMaj; copies use pCopy. Host-level
+ * row reads/writes (memory-controller RD/WR) are reliable and tracked
+ * separately in OpStats.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "cim/fault.hpp"
+#include "cim/rowaddr.hpp"
+#include "common/bitvec.hpp"
+#include "common/rng.hpp"
+
+namespace c2m {
+namespace cim {
+
+class AmbitSubarray
+{
+  public:
+    AmbitSubarray(size_t num_rows, size_t num_cols,
+                  FaultModel fault = FaultModel::reliable(),
+                  uint64_t seed = 1);
+
+    size_t numRows() const { return dataRows_.size(); }
+    size_t numCols() const { return numCols_; }
+
+    // ---- Host (memory controller) access: reliable RD/WR ----
+
+    /** Read a D-group row (counts as a row read). */
+    const BitVector &hostReadRow(size_t r);
+
+    /** Overwrite a D-group row (counts as a row write). */
+    void hostWriteRow(size_t r, const BitVector &v);
+
+    /** Direct peek without touching access stats (tests/debug). */
+    const BitVector &peekRow(size_t r) const;
+    BitVector &rawRow(size_t r);
+
+    /** Compute-row peeks for white-box tests. */
+    const BitVector &peekT(unsigned i) const;
+    const BitVector &peekDcc(unsigned i) const;
+    void pokeT(unsigned i, const BitVector &v);
+    void pokeDcc(unsigned i, const BitVector &v);
+
+    // ---- Command execution ----
+
+    void execute(const AmbitOp &op);
+    void run(const AmbitProgram &prog);
+
+    OpStats &stats() { return stats_; }
+    const OpStats &stats() const { return stats_; }
+    FaultModel &fault() { return fault_; }
+    Rng &rng() { return rng_; }
+
+  private:
+    /** Storage cell behind a row reference (not C0/C1). */
+    BitVector &cell(const RowRef &ref);
+
+    /**
+     * Sense the activation set onto the bitlines: single rows read
+     * (negated through DCC negative ports), triples compute MAJ3 with
+     * fault injection and destructive writeback.
+     */
+    BitVector resolveRead(const RowSet &set, bool is_copy_source);
+
+    /** Drive @p v into every row of @p set (write phase of AAP). */
+    void writeSet(const RowSet &set, const BitVector &v);
+
+    size_t numCols_;
+    std::vector<BitVector> dataRows_;
+    BitVector tRegs_[4];
+    BitVector dccRegs_[2];
+    BitVector zeros_;
+    BitVector ones_;
+    FaultModel fault_;
+    OpStats stats_;
+    Rng rng_;
+};
+
+} // namespace cim
+} // namespace c2m
+
+#endif // C2M_CIM_AMBIT_HPP

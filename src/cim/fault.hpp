@@ -1,0 +1,71 @@
+#ifndef C2M_CIM_FAULT_HPP
+#define C2M_CIM_FAULT_HPP
+
+/**
+ * @file
+ * Fault model for CIM operations (Sec. 2.3).
+ *
+ * Multi-row activation has a much higher bit-error rate than normal
+ * access (experimentally 1e-1 .. 1e-6). We model a per-bit, per-
+ * operation independent flip probability applied to the sensed result
+ * of each triple-row activation. Row copies through (negated) single-
+ * row activation behave like ordinary accesses and default to
+ * fault-free (the paper conservatively bounds reads at 1e-20).
+ */
+
+#include <cstdint>
+
+namespace c2m {
+namespace cim {
+
+struct FaultModel
+{
+    /** Per-bit flip probability of a MAJ3 (triple activation) result. */
+    double pMaj = 0.0;
+
+    /** Per-bit flip probability of a row copy / NOT (like a read). */
+    double pCopy = 0.0;
+
+    static FaultModel reliable() { return {0.0, 0.0}; }
+
+    static FaultModel cimRate(double p_maj)
+    {
+        return {p_maj, 0.0};
+    }
+};
+
+/** Running tally of executed operations and injected faults. */
+struct OpStats
+{
+    uint64_t aap = 0;            ///< AAP commands executed
+    uint64_t ap = 0;             ///< AP commands executed
+    uint64_t tra = 0;            ///< triple activations (MAJ3)
+    uint64_t faultsInjected = 0; ///< total bits flipped by the model
+    uint64_t rowReads = 0;       ///< host-level row reads
+    uint64_t rowWrites = 0;      ///< host-level row writes
+
+    uint64_t commands() const { return aap + ap; }
+
+    void
+    reset()
+    {
+        *this = OpStats{};
+    }
+
+    OpStats &
+    operator+=(const OpStats &o)
+    {
+        aap += o.aap;
+        ap += o.ap;
+        tra += o.tra;
+        faultsInjected += o.faultsInjected;
+        rowReads += o.rowReads;
+        rowWrites += o.rowWrites;
+        return *this;
+    }
+};
+
+} // namespace cim
+} // namespace c2m
+
+#endif // C2M_CIM_FAULT_HPP

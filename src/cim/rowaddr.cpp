@@ -1,0 +1,91 @@
+#include "cim/rowaddr.hpp"
+
+#include <sstream>
+
+#include "common/logging.hpp"
+
+namespace c2m {
+namespace cim {
+
+std::string
+RowRef::toString() const
+{
+    switch (kind) {
+      case Kind::Data:
+        return "D" + std::to_string(index);
+      case Kind::T:
+        return "T" + std::to_string(index);
+      case Kind::DccPos:
+        return "DCC" + std::to_string(index);
+      case Kind::DccNeg:
+        return "~DCC" + std::to_string(index);
+      case Kind::C0:
+        return "C0";
+      case Kind::C1:
+        return "C1";
+    }
+    return "?";
+}
+
+RowSet::RowSet(RowRef a)
+{
+    rows[0] = a;
+    count = 1;
+}
+
+RowSet::RowSet(RowRef a, RowRef b)
+{
+    rows[0] = a;
+    rows[1] = b;
+    count = 2;
+}
+
+RowSet::RowSet(RowRef a, RowRef b, RowRef c)
+{
+    rows[0] = a;
+    rows[1] = b;
+    rows[2] = c;
+    count = 3;
+}
+
+std::string
+RowSet::toString() const
+{
+    std::string s = "{";
+    for (uint8_t i = 0; i < count; ++i) {
+        if (i)
+            s += ",";
+        s += rows[i].toString();
+    }
+    return s + "}";
+}
+
+std::string
+AmbitOp::toString() const
+{
+    if (kind == Kind::AP)
+        return "AP  " + src.toString();
+    return "AAP " + src.toString() + " -> " + dst.toString();
+}
+
+size_t
+AmbitProgram::traCount() const
+{
+    size_t n = 0;
+    for (const auto &op : ops)
+        if (op.src.isTriple())
+            ++n;
+    return n;
+}
+
+std::string
+AmbitProgram::toString() const
+{
+    std::ostringstream os;
+    for (size_t i = 0; i < ops.size(); ++i)
+        os << i << ": " << ops[i].toString() << "\n";
+    return os.str();
+}
+
+} // namespace cim
+} // namespace c2m

@@ -1,0 +1,93 @@
+#ifndef C2M_COMMON_BITVEC_HPP
+#define C2M_COMMON_BITVEC_HPP
+
+/**
+ * @file
+ * Packed bit vector used for bit-parallel simulation of DRAM rows.
+ *
+ * A BitVector models the contents of one (sub)array row across its
+ * columns. All CIM bulk-bitwise operations (MAJ3, AND, OR, NOT, NOR,
+ * XOR, copy) are implemented 64 columns at a time, mirroring the
+ * column-parallel nature of multi-row activation.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace c2m {
+
+class Rng;
+
+class BitVector
+{
+  public:
+    BitVector() = default;
+
+    /** Construct an all-zero vector of @p num_bits columns. */
+    explicit BitVector(size_t num_bits);
+
+    /** Construct from a 0/1 string, bit i = s[i] (LSB-first). */
+    static BitVector fromString(const std::string &s);
+
+    size_t size() const { return numBits_; }
+    size_t numWords() const { return words_.size(); }
+
+    bool get(size_t i) const;
+    void set(size_t i, bool v);
+
+    /** Set all bits to @p v. */
+    void fill(bool v);
+
+    /** Number of set bits. */
+    size_t popcount() const;
+
+    /** Bitwise complement, in place. */
+    void invert();
+
+    /** dst = src (sizes must match). */
+    void copyFrom(const BitVector &src);
+
+    void assignAnd(const BitVector &a, const BitVector &b);
+    void assignOr(const BitVector &a, const BitVector &b);
+    void assignXor(const BitVector &a, const BitVector &b);
+    void assignNor(const BitVector &a, const BitVector &b);
+    void assignNot(const BitVector &a);
+
+    /** dst = MAJ3(a, b, c) -- the triple-row-activation primitive. */
+    void assignMaj3(const BitVector &a, const BitVector &b,
+                    const BitVector &c);
+
+    /**
+     * Flip each bit independently with probability @p p.
+     *
+     * Uses geometric skips so the cost is proportional to the number of
+     * faults, not the number of bits.
+     *
+     * @return the number of bits flipped.
+     */
+    size_t injectFaults(Rng &rng, double p);
+
+    /** Fill bits i.i.d. Bernoulli(@p density). */
+    void randomize(Rng &rng, double density = 0.5);
+
+    bool operator==(const BitVector &o) const;
+    bool operator!=(const BitVector &o) const { return !(*this == o); }
+
+    /** LSB-first 0/1 string (for diagnostics). */
+    std::string toString() const;
+
+    uint64_t word(size_t w) const { return words_[w]; }
+    uint64_t &word(size_t w) { return words_[w]; }
+
+  private:
+    /** Zero any bits beyond numBits_ in the last word. */
+    void maskTail();
+
+    size_t numBits_ = 0;
+    std::vector<uint64_t> words_;
+};
+
+} // namespace c2m
+
+#endif // C2M_COMMON_BITVEC_HPP

@@ -1,0 +1,70 @@
+#ifndef C2M_COMMON_LOGGING_HPP
+#define C2M_COMMON_LOGGING_HPP
+
+/**
+ * @file
+ * gem5-style status and error reporting.
+ *
+ * panic(): an internal invariant was violated (a bug in this library);
+ *          aborts so a debugger/core dump sees the failure point.
+ * fatal(): the simulation cannot continue because of a user error
+ *          (bad configuration, invalid arguments); exits with code 1.
+ * warn()/inform(): non-fatal status messages on stderr.
+ */
+
+#include <sstream>
+#include <string>
+
+namespace c2m {
+
+namespace detail {
+
+/** Fold any streamable argument pack into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+} // namespace c2m
+
+/** Abort with a message: internal invariant violated (library bug). */
+#define C2M_PANIC(...) \
+    ::c2m::detail::panicImpl(__FILE__, __LINE__, \
+                             ::c2m::detail::concat(__VA_ARGS__))
+
+/** Exit(1) with a message: unusable user configuration or input. */
+#define C2M_FATAL(...) \
+    ::c2m::detail::fatalImpl(__FILE__, __LINE__, \
+                             ::c2m::detail::concat(__VA_ARGS__))
+
+/** Non-fatal warning on stderr. */
+#define C2M_WARN(...) \
+    ::c2m::detail::warnImpl(::c2m::detail::concat(__VA_ARGS__))
+
+/** Informational message on stderr. */
+#define C2M_INFORM(...) \
+    ::c2m::detail::informImpl(::c2m::detail::concat(__VA_ARGS__))
+
+/** Checked assertion that survives NDEBUG; panics with context. */
+#define C2M_ASSERT(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            C2M_PANIC("assertion failed: ", #cond, " ", \
+                      ::c2m::detail::concat(__VA_ARGS__)); \
+        } \
+    } while (0)
+
+#endif // C2M_COMMON_LOGGING_HPP

@@ -1,0 +1,135 @@
+#ifndef C2M_COMMON_RNG_HPP
+#define C2M_COMMON_RNG_HPP
+
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All stochastic behaviour in the simulator (fault injection, workload
+ * synthesis) flows through Rng so experiments are reproducible from a
+ * single seed. The core generator is xoshiro256**, seeded via SplitMix64.
+ */
+
+#include <cmath>
+#include <cstdint>
+
+namespace c2m {
+
+/** SplitMix64 step, used for seeding and cheap hashing. */
+inline uint64_t
+splitMix64(uint64_t &state)
+{
+    uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/**
+ * xoshiro256** generator with convenience distributions.
+ */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x5eed5eedULL)
+    {
+        uint64_t sm = seed;
+        for (auto &word : state_)
+            word = splitMix64(sm);
+    }
+
+    /** Next raw 64-bit value. */
+    uint64_t
+    next()
+    {
+        const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). bound must be > 0. */
+    uint64_t
+    nextBounded(uint64_t bound)
+    {
+        // Lemire-style rejection-free-enough multiply-shift; bias is
+        // negligible for the bounds used in this project (< 2^32).
+        __uint128_t m = static_cast<__uint128_t>(next()) * bound;
+        return static_cast<uint64_t>(m >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int64_t
+    nextRange(int64_t lo, int64_t hi)
+    {
+        return lo + static_cast<int64_t>(
+            nextBounded(static_cast<uint64_t>(hi - lo + 1)));
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    nextDouble()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli trial with probability p. */
+    bool
+    nextBool(double p)
+    {
+        return nextDouble() < p;
+    }
+
+    /** Standard normal via Box-Muller (one value per call). */
+    double
+    nextGaussian()
+    {
+        double u1 = nextDouble();
+        double u2 = nextDouble();
+        if (u1 < 1e-300)
+            u1 = 1e-300;
+        return std::sqrt(-2.0 * std::log(u1)) *
+               std::cos(2.0 * M_PI * u2);
+    }
+
+    /**
+     * Number of Bernoulli(p) failures before the next success
+     * (geometric skip). Used to make per-bit fault injection O(#faults)
+     * instead of O(#bits) when p is small.
+     *
+     * @return the gap g >= 0; the event occurs at offset g.
+     */
+    uint64_t
+    nextGeometric(double p)
+    {
+        if (p >= 1.0)
+            return 0;
+        if (p <= 0.0)
+            return UINT64_MAX;
+        double u = nextDouble();
+        if (u < 1e-300)
+            u = 1e-300;
+        double g = std::floor(std::log(u) / std::log1p(-p));
+        if (g >= 9e18)
+            return UINT64_MAX;
+        return static_cast<uint64_t>(g);
+    }
+
+  private:
+    static uint64_t
+    rotl(uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    uint64_t state_[4];
+};
+
+} // namespace c2m
+
+#endif // C2M_COMMON_RNG_HPP

@@ -1,0 +1,181 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.hpp"
+
+namespace c2m {
+
+double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : xs)
+        s += x;
+    return s / static_cast<double>(xs.size());
+}
+
+double
+geomean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : xs) {
+        C2M_ASSERT(x > 0.0, "geomean requires positive values");
+        s += std::log(x);
+    }
+    return std::exp(s / static_cast<double>(xs.size()));
+}
+
+double
+stddev(const std::vector<double> &xs)
+{
+    if (xs.size() < 2)
+        return 0.0;
+    const double m = mean(xs);
+    double s = 0.0;
+    for (double x : xs)
+        s += (x - m) * (x - m);
+    return std::sqrt(s / static_cast<double>(xs.size() - 1));
+}
+
+double
+rmse(const std::vector<double> &measured,
+     const std::vector<double> &reference)
+{
+    C2M_ASSERT(measured.size() == reference.size(),
+               "rmse size mismatch");
+    if (measured.empty())
+        return 0.0;
+    double s = 0.0;
+    for (size_t i = 0; i < measured.size(); ++i) {
+        const double d = measured[i] - reference[i];
+        s += d * d;
+    }
+    return std::sqrt(s / static_cast<double>(measured.size()));
+}
+
+double
+rmse(const std::vector<int64_t> &measured,
+     const std::vector<int64_t> &reference)
+{
+    C2M_ASSERT(measured.size() == reference.size(),
+               "rmse size mismatch");
+    if (measured.empty())
+        return 0.0;
+    double s = 0.0;
+    for (size_t i = 0; i < measured.size(); ++i) {
+        const double d = static_cast<double>(measured[i]) -
+                         static_cast<double>(reference[i]);
+        s += d * d;
+    }
+    return std::sqrt(s / static_cast<double>(measured.size()));
+}
+
+void
+BinaryScore::add(bool predicted, bool actual)
+{
+    if (predicted && actual)
+        ++tp;
+    else if (predicted && !actual)
+        ++fp;
+    else if (!predicted && !actual)
+        ++tn;
+    else
+        ++fn;
+}
+
+double
+BinaryScore::precision() const
+{
+    const uint64_t denom = tp + fp;
+    return denom == 0 ? 0.0 : static_cast<double>(tp) / denom;
+}
+
+double
+BinaryScore::recall() const
+{
+    const uint64_t denom = tp + fn;
+    return denom == 0 ? 0.0 : static_cast<double>(tp) / denom;
+}
+
+double
+BinaryScore::f1() const
+{
+    const double p = precision();
+    const double r = recall();
+    return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+double
+BinaryScore::accuracy() const
+{
+    const uint64_t denom = tp + fp + tn + fn;
+    return denom == 0 ? 0.0
+                      : static_cast<double>(tp + tn) / denom;
+}
+
+Histogram::Histogram(int64_t lo, int64_t hi)
+    : lo_(lo), hi_(hi), bins_(static_cast<size_t>(hi - lo + 1), 0)
+{
+    C2M_ASSERT(hi >= lo, "histogram range inverted");
+}
+
+void
+Histogram::add(int64_t value, uint64_t count)
+{
+    total_ += count;
+    sum_ += static_cast<double>(value) * static_cast<double>(count);
+    if (value < lo_)
+        underflow_ += count;
+    else if (value > hi_)
+        overflow_ += count;
+    else
+        bins_[static_cast<size_t>(value - lo_)] += count;
+}
+
+uint64_t
+Histogram::binCount(int64_t value) const
+{
+    if (value < lo_ || value > hi_)
+        return 0;
+    return bins_[static_cast<size_t>(value - lo_)];
+}
+
+double
+Histogram::valueMean() const
+{
+    return total_ == 0 ? 0.0 : sum_ / static_cast<double>(total_);
+}
+
+std::string
+Histogram::render(bool log_scale, size_t bar_width) const
+{
+    uint64_t max_count = 1;
+    for (auto c : bins_)
+        max_count = std::max(max_count, c);
+    const double max_scale =
+        log_scale ? std::log10(static_cast<double>(max_count) + 1.0)
+                  : static_cast<double>(max_count);
+
+    std::ostringstream os;
+    for (size_t b = 0; b < bins_.size(); ++b) {
+        const uint64_t c = bins_[b];
+        const double scale =
+            log_scale ? std::log10(static_cast<double>(c) + 1.0)
+                      : static_cast<double>(c);
+        const size_t len = max_scale <= 0.0 ? 0
+            : static_cast<size_t>(scale / max_scale *
+                                  static_cast<double>(bar_width));
+        os << (lo_ + static_cast<int64_t>(b)) << "\t" << c << "\t"
+           << std::string(len, '#') << "\n";
+    }
+    return os.str();
+}
+
+} // namespace c2m

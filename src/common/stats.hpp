@@ -1,0 +1,80 @@
+#ifndef C2M_COMMON_STATS_HPP
+#define C2M_COMMON_STATS_HPP
+
+/**
+ * @file
+ * Small statistics helpers used by the experiment harnesses: summary
+ * moments, RMSE against a reference, binary-classification scores, and
+ * integer histograms (Fig. 3 style).
+ */
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace c2m {
+
+double mean(const std::vector<double> &xs);
+double geomean(const std::vector<double> &xs);
+double stddev(const std::vector<double> &xs);
+
+/** Root-mean-squared error between measured and reference sequences. */
+double rmse(const std::vector<double> &measured,
+            const std::vector<double> &reference);
+double rmse(const std::vector<int64_t> &measured,
+            const std::vector<int64_t> &reference);
+
+/** Confusion-matrix derived scores for binary classification. */
+struct BinaryScore
+{
+    uint64_t tp = 0;
+    uint64_t fp = 0;
+    uint64_t tn = 0;
+    uint64_t fn = 0;
+
+    void add(bool predicted, bool actual);
+
+    double precision() const;
+    double recall() const;
+    double f1() const;
+    double accuracy() const;
+};
+
+/**
+ * Fixed-bin integer histogram with text rendering for the bench
+ * binaries (log-frequency bars, Fig. 3 style).
+ */
+class Histogram
+{
+  public:
+    Histogram(int64_t lo, int64_t hi);
+
+    void add(int64_t value, uint64_t count = 1);
+
+    int64_t lo() const { return lo_; }
+    int64_t hi() const { return hi_; }
+    uint64_t total() const { return total_; }
+    uint64_t binCount(int64_t value) const;
+    uint64_t underflow() const { return underflow_; }
+    uint64_t overflow() const { return overflow_; }
+
+    /** Mean of recorded values (clamped samples excluded). */
+    double valueMean() const;
+
+    /** Render as "value count bar" lines; log-scaled bars if requested. */
+    std::string render(bool log_scale, size_t bar_width = 40) const;
+
+  private:
+    int64_t lo_;
+    int64_t hi_;
+    std::vector<uint64_t> bins_;
+    uint64_t underflow_ = 0;
+    uint64_t overflow_ = 0;
+    uint64_t total_ = 0;
+    double sum_ = 0.0;
+};
+
+} // namespace c2m
+
+#endif // C2M_COMMON_STATS_HPP

@@ -1,0 +1,97 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.hpp"
+
+namespace c2m {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    C2M_ASSERT(cells.size() == headers_.size(),
+               "row width ", cells.size(), " != header width ",
+               headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TextTable::fmt(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+TextTable::sci(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*e", precision, v);
+    return buf;
+}
+
+std::string
+TextTable::fmt(uint64_t v)
+{
+    return std::to_string(v);
+}
+
+std::string
+TextTable::fmt(int64_t v)
+{
+    return std::to_string(v);
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<size_t> width(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        width[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    auto emit_row = [&](std::ostringstream &os,
+                        const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            os << row[c]
+               << std::string(width[c] - row[c].size() + 2, ' ');
+        }
+        os << "\n";
+    };
+
+    std::ostringstream os;
+    emit_row(os, headers_);
+    size_t total = 0;
+    for (size_t c = 0; c < width.size(); ++c)
+        total += width[c] + 2;
+    os << std::string(total, '-') << "\n";
+    for (const auto &row : rows_)
+        emit_row(os, row);
+    return os.str();
+}
+
+std::string
+TextTable::csv() const
+{
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c)
+            os << row[c] << (c + 1 == row.size() ? "\n" : ",");
+    };
+    emit(headers_);
+    for (const auto &row : rows_)
+        emit(row);
+    return os.str();
+}
+
+} // namespace c2m

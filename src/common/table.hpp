@@ -1,0 +1,49 @@
+#ifndef C2M_COMMON_TABLE_HPP
+#define C2M_COMMON_TABLE_HPP
+
+/**
+ * @file
+ * Aligned-text table emitter for the benchmark harnesses.
+ *
+ * Every bench binary prints the rows/series of one paper table or
+ * figure; TextTable renders them both as aligned columns (human view)
+ * and as CSV lines (machine view) so EXPERIMENTS.md can quote either.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace c2m {
+
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append one row; cells are pre-formatted strings. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format doubles with fixed precision. */
+    static std::string fmt(double v, int precision = 3);
+    /** Scientific notation (for fault/error rates). */
+    static std::string sci(double v, int precision = 2);
+    static std::string fmt(uint64_t v);
+    static std::string fmt(int64_t v);
+
+    /** Render as aligned text with a header underline. */
+    std::string render() const;
+
+    /** Render as CSV (headers + rows). */
+    std::string csv() const;
+
+    size_t numRows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace c2m
+
+#endif // C2M_COMMON_TABLE_HPP

@@ -1,0 +1,87 @@
+#include "core/bitslice.hpp"
+
+#include "common/logging.hpp"
+#include "jc/digits.hpp"
+
+namespace c2m {
+namespace core {
+
+unsigned
+csdSlices(unsigned z_bits)
+{
+    // CSD of a value below 2^b has at most b+1 digits.
+    return z_bits + 1;
+}
+
+std::vector<int64_t>
+gemvIntIntCsd(C2MEngine &engine, const std::vector<int64_t> &x,
+              const std::vector<std::vector<int64_t>> &Z,
+              unsigned z_bits)
+{
+    C2M_ASSERT(x.size() == Z.size(), "x length must match rows of Z");
+    C2M_ASSERT(!Z.empty(), "empty matrix");
+    C2M_ASSERT(engine.config().numGroups >= 2,
+               "CSD kernel needs two counter groups");
+
+    const unsigned slices = csdSlices(z_bits);
+    const size_t N = Z[0].size();
+
+    // Allocate 2*slices reusable mask rows (plus/minus per power).
+    std::vector<unsigned> plus(slices), minus(slices);
+    {
+        std::vector<uint8_t> zero(N, 0);
+        for (unsigned s = 0; s < slices; ++s) {
+            plus[s] = engine.addMask(zero);
+            minus[s] = engine.addMask(zero);
+        }
+    }
+
+    for (size_t i = 0; i < x.size(); ++i) {
+        if (x[i] == 0)
+            continue;
+
+        // Build this row's CSD slice masks.
+        std::vector<std::vector<uint8_t>> pm(slices,
+                                             std::vector<uint8_t>(N)),
+            mm(slices, std::vector<uint8_t>(N));
+        bool any = false;
+        for (size_t j = 0; j < N; ++j) {
+            const auto csd = jc::toCsd(Z[i][j]);
+            C2M_ASSERT(csd.size() <= slices, "z element exceeds ",
+                       z_bits, " magnitude bits");
+            for (size_t s = 0; s < csd.size(); ++s) {
+                if (csd[s] > 0) {
+                    pm[s][j] = 1;
+                    any = true;
+                } else if (csd[s] < 0) {
+                    mm[s][j] = 1;
+                    any = true;
+                }
+            }
+        }
+        if (!any)
+            continue;
+
+        const uint64_t mag =
+            static_cast<uint64_t>(x[i] < 0 ? -x[i] : x[i]);
+        const unsigned pos_rail = x[i] > 0 ? 0 : 1;
+
+        for (unsigned s = 0; s < slices; ++s) {
+            engine.setMask(plus[s], pm[s]);
+            engine.setMask(minus[s], mm[s]);
+            // Scale by 2^s on the host: shifts only, no multiplier.
+            engine.accumulate(mag << s, plus[s], pos_rail);
+            engine.accumulate(mag << s, minus[s], 1 - pos_rail);
+        }
+    }
+
+    const auto p = engine.readCounters(0);
+    const auto m = engine.readCounters(1);
+    std::vector<int64_t> y(N);
+    for (size_t j = 0; j < N; ++j)
+        y[j] = p[j] - m[j];
+    return y;
+}
+
+} // namespace core
+} // namespace c2m

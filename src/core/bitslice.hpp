@@ -1,0 +1,40 @@
+#ifndef C2M_CORE_BITSLICE_HPP
+#define C2M_CORE_BITSLICE_HPP
+
+/**
+ * @file
+ * Integer-integer matrix operations via CSD bit-slicing (Sec. 5.2.3).
+ *
+ * A p-bit integer matrix Z is decomposed into canonical-signed-digit
+ * slices: for every power of two s, a (+) mask and a (-) mask hold
+ * the elements whose CSD digit at weight 2^s is +1 / -1. The host
+ * scales the streamed input by 2^s (a shift -- no multiplier needed)
+ * and accumulates onto the same counters, dual-rail for sign.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "core/engine.hpp"
+
+namespace c2m {
+namespace core {
+
+/**
+ * y = x . Z with integer Z, via CSD slicing. The engine needs
+ * numGroups >= 2 and maxMaskRows >= 2 * slices(zBits); mask rows are
+ * rewritten per input row of Z, so K can exceed maxMaskRows.
+ *
+ * @param z_bits Magnitude bits of Z's elements (|z| < 2^z_bits).
+ */
+std::vector<int64_t> gemvIntIntCsd(
+    C2MEngine &engine, const std::vector<int64_t> &x,
+    const std::vector<std::vector<int64_t>> &Z, unsigned z_bits);
+
+/** Number of CSD slices needed for magnitudes below 2^z_bits. */
+unsigned csdSlices(unsigned z_bits);
+
+} // namespace core
+} // namespace c2m
+
+#endif // C2M_CORE_BITSLICE_HPP

@@ -1,0 +1,524 @@
+#include "core/engine.hpp"
+
+#include "common/logging.hpp"
+#include "dram/subarray.hpp"
+#include "jc/digits.hpp"
+#include "jc/johnson.hpp"
+
+namespace c2m {
+namespace core {
+
+using cim::RowRef;
+using cim::RowSet;
+
+namespace {
+
+std::vector<jc::CounterLayout>
+buildLayouts(const EngineConfig &cfg, unsigned physical_groups)
+{
+    std::vector<jc::CounterLayout> layouts;
+    unsigned base = 0;
+    for (unsigned g = 0; g < physical_groups; ++g) {
+        layouts.emplace_back(cfg.radix, cfg.capacityBits, base);
+        base = layouts.back().endRow();
+    }
+    return layouts;
+}
+
+} // namespace
+
+C2MEngine::C2MEngine(const EngineConfig &cfg)
+    : cfg_(cfg),
+      bitsPerDigit_(jc::bitsForRadix(cfg.radix)),
+      layouts_(buildLayouts(cfg, cfg.numGroups *
+                                     (cfg.protection == Protection::Tmr
+                                          ? 3u
+                                          : 1u))),
+      maskBase_(layouts_.back().endRow()),
+      sub_(maskBase_ + cfg.maxMaskRows, cfg.numCounters,
+           cim::FaultModel::cimRate(cfg.faultRate), cfg.seed)
+{
+    C2M_ASSERT(cfg.numGroups >= 1, "need at least one counter group");
+    C2M_ASSERT(!(cfg.protection == Protection::Ecc) ||
+                   (cfg.frChecks >= 1 && cfg.frChecks <= 3),
+               "frChecks must be in 1..3");
+
+    uprog::CodegenOptions copts;
+    copts.protect = cfg.protection == Protection::Ecc;
+    copts.frChecks = cfg.frChecks;
+    for (const auto &l : layouts_)
+        codegen_.emplace_back(l, copts);
+
+    for (unsigned g = 0; g < cfg.numGroups; ++g)
+        schedulers_.emplace_back(cfg.radix, layouts_[0].numDigits());
+    groupHasDecrements_.assign(cfg.numGroups, false);
+
+    clear();
+}
+
+const jc::CounterLayout &
+C2MEngine::layout(unsigned group) const
+{
+    return layouts_[physIndex(group, 0)];
+}
+
+unsigned
+C2MEngine::physIndex(unsigned group, unsigned replica) const
+{
+    C2M_ASSERT(group < cfg_.numGroups && replica < replicas(),
+               "group/replica out of range");
+    return group * replicas() + replica;
+}
+
+unsigned
+C2MEngine::maskRowIndex(unsigned handle) const
+{
+    C2M_ASSERT(handle < numMasks_, "unknown mask handle ", handle);
+    return maskBase_ + handle;
+}
+
+unsigned
+C2MEngine::addMask(const std::vector<uint8_t> &mask)
+{
+    C2M_ASSERT(numMasks_ < cfg_.maxMaskRows,
+               "mask rows exhausted; raise maxMaskRows");
+    const unsigned handle = numMasks_++;
+    setMask(handle, mask);
+    return handle;
+}
+
+void
+C2MEngine::setMask(unsigned handle, const std::vector<uint8_t> &mask)
+{
+    sub_.hostWriteRow(maskRowIndex(handle),
+                      dram::maskRow(mask, cfg_.numCounters));
+}
+
+void
+C2MEngine::clear()
+{
+    for (unsigned p = 0; p < layouts_.size(); ++p)
+        sub_.run(codegen_[p].clearCounters());
+    for (auto &s : schedulers_)
+        s = jc::IarmScheduler(cfg_.radix, layouts_[0].numDigits());
+    groupHasDecrements_.assign(cfg_.numGroups, false);
+}
+
+void
+C2MEngine::runChecked(const uprog::CheckedProgram &prog)
+{
+    for (const auto &block : prog.blocks) {
+        unsigned attempt = 0;
+        for (;;) {
+            sub_.run(block.prog);
+            if (block.checks.empty())
+                break;
+
+            bool mismatch = false;
+            for (const auto &chk : block.checks) {
+                ++stats_.checksRun;
+                const BitVector &fr = sub_.hostReadRow(chk.frRow);
+                if (chk.mode == uprog::FrCheck::Mode::EqualRows) {
+                    if (fr != sub_.hostReadRow(chk.rowA))
+                        mismatch = true;
+                    continue;
+                }
+                BitVector a(cfg_.numCounters);
+                a.copyFrom(sub_.hostReadRow(chk.rowA));
+                if (chk.aNeg)
+                    a.invert();
+                BitVector b(cfg_.numCounters);
+                b.copyFrom(sub_.hostReadRow(chk.rowB));
+                if (chk.bNeg)
+                    b.invert();
+                BitVector expect(cfg_.numCounters);
+                expect.assignXor(a, b);
+                if (fr != expect)
+                    mismatch = true;
+            }
+            if (!mismatch)
+                break;
+
+            ++stats_.faultsDetected;
+            if (attempt++ >= cfg_.maxRetries) {
+                ++stats_.uncorrectedBlocks;
+                break;
+            }
+            ++stats_.retries;
+        }
+    }
+}
+
+void
+C2MEngine::voteRows(const std::vector<unsigned> &rows)
+{
+    C2M_ASSERT(rows.size() == 3, "vote needs three replica rows");
+    cim::AmbitProgram p;
+    p.aap(RowRef::data(rows[0]), RowRef::t(0));
+    p.aap(RowRef::data(rows[1]), RowRef::t(1));
+    p.aap(RowRef::data(rows[2]), RowRef::t(2));
+    p.aap(RowSet::b12(), RowSet{RowRef::data(rows[0]),
+                                RowRef::data(rows[1]),
+                                RowRef::data(rows[2])});
+    sub_.run(p);
+    stats_.voteOps += p.size();
+}
+
+void
+C2MEngine::voteDigit(unsigned group, unsigned digit)
+{
+    const unsigned n = bitsPerDigit_;
+    for (unsigned i = 0; i <= n; ++i) {
+        std::vector<unsigned> rows;
+        for (unsigned r = 0; r < 3; ++r) {
+            const auto &l = layouts_[physIndex(group, r)];
+            rows.push_back(i < n ? l.bitRow(digit, i)
+                                 : l.onextRow(digit));
+        }
+        voteRows(rows);
+    }
+}
+
+void
+C2MEngine::incrementDigit(unsigned group, unsigned digit, unsigned k,
+                          unsigned mask_row)
+{
+    for (unsigned r = 0; r < replicas(); ++r)
+        runChecked(codegen_[physIndex(group, r)].karyIncrement(
+            digit, k, mask_row));
+    if (cfg_.protection == Protection::Tmr)
+        voteDigit(group, digit);
+    ++stats_.increments;
+}
+
+void
+C2MEngine::decrementDigit(unsigned group, unsigned digit, unsigned k,
+                          unsigned mask_row)
+{
+    for (unsigned r = 0; r < replicas(); ++r)
+        runChecked(codegen_[physIndex(group, r)].karyDecrement(
+            digit, k, mask_row));
+    if (cfg_.protection == Protection::Tmr)
+        voteDigit(group, digit);
+    ++stats_.increments;
+}
+
+void
+C2MEngine::ripple(unsigned group, unsigned digit)
+{
+    for (unsigned r = 0; r < replicas(); ++r)
+        runChecked(codegen_[physIndex(group, r)].carryRipple(digit));
+    if (cfg_.protection == Protection::Tmr)
+        voteDigit(group, digit + 1);
+    ++stats_.ripples;
+}
+
+void
+C2MEngine::accumulate(uint64_t value, unsigned mask_handle,
+                      unsigned group)
+{
+    C2M_ASSERT(group < cfg_.numGroups, "group out of range");
+    if (value == 0) {
+        ++stats_.inputsAccumulated; // zero inputs are skipped entirely
+        return;
+    }
+    const unsigned mask_row = maskRowIndex(mask_handle);
+    const auto digits = jc::toDigits(value, cfg_.radix);
+    C2M_ASSERT(digits.size() < layouts_[0].numDigits(),
+               "value exceeds counter capacity");
+
+    auto &sched = schedulers_[group];
+    const bool signed_mode = groupHasDecrements_[group];
+
+    if (!signed_mode) {
+        for (unsigned d : sched.prepareAdd(digits))
+            ripple(group, d);
+        sched.applyAdd(digits);
+    }
+
+    for (unsigned pos = 0; pos < digits.size(); ++pos) {
+        const unsigned k = digits[pos];
+        if (k == 0)
+            continue;
+        if (cfg_.counting == CountMode::Kary) {
+            incrementDigit(group, pos, k, mask_row);
+        } else {
+            for (unsigned u = 0; u < k; ++u)
+                incrementDigit(group, pos, 1, mask_row);
+        }
+    }
+
+    if (signed_mode) {
+        // Signed groups keep Onext fully resolved so the flag's
+        // meaning (overflow vs borrow) can switch per input.
+        resolveAllPendings(group, /*borrows=*/false);
+    } else if (cfg_.ripple == RippleMode::FullRipple) {
+        // One unconditional ripple per digit boundary, highest first
+        // so carries always land in a just-resolved digit.
+        for (unsigned d : sched.fullPassDescending())
+            ripple(group, d);
+    }
+    ++stats_.inputsAccumulated;
+}
+
+void
+C2MEngine::accumulateSigned(int64_t value, unsigned mask_handle,
+                            unsigned group)
+{
+    if (value >= 0) {
+        accumulate(static_cast<uint64_t>(value), mask_handle, group);
+        return;
+    }
+
+    // First decrement on this group: resolve outstanding overflows
+    // (Sec. 4.4) and enter full-resolution signed mode.
+    if (!groupHasDecrements_[group]) {
+        drain(group);
+        groupHasDecrements_[group] = true;
+    }
+
+    const unsigned mask_row = maskRowIndex(mask_handle);
+    const auto digits =
+        jc::toDigits(static_cast<uint64_t>(-value), cfg_.radix);
+    C2M_ASSERT(digits.size() < layouts_[0].numDigits(),
+               "value exceeds counter capacity");
+
+    for (unsigned pos = 0; pos < digits.size(); ++pos) {
+        if (digits[pos] == 0)
+            continue;
+        decrementDigit(group, pos, digits[pos], mask_row);
+    }
+    resolveAllPendings(group, /*borrows=*/true);
+    ++stats_.inputsAccumulated;
+}
+
+void
+C2MEngine::borrowRipple(unsigned group, unsigned digit)
+{
+    for (unsigned r = 0; r < replicas(); ++r)
+        runChecked(codegen_[physIndex(group, r)].borrowRipple(digit));
+    if (cfg_.protection == Protection::Tmr)
+        voteDigit(group, digit + 1);
+    ++stats_.ripples;
+}
+
+void
+C2MEngine::resolveAllPendings(unsigned group, bool borrows)
+{
+    // Highest boundary first within a pass, so every carry/borrow
+    // lands in a just-cleared digit (no flag is ever double-set);
+    // each pass moves fresh pendings one digit up, so at most D
+    // passes fully drain them into Osign.
+    const unsigned D = layouts_[0].numDigits();
+    const auto &l0 = layouts_[physIndex(group, 0)];
+    for (unsigned pass = 0; pass < D; ++pass) {
+        bool any = false;
+        for (unsigned d = D - 1; d-- > 0;) {
+            if (sub_.peekRow(l0.onextRow(d)).popcount() == 0)
+                continue;
+            any = true;
+            if (borrows)
+                borrowRipple(group, d);
+            else
+                ripple(group, d);
+        }
+        foldTopBorrowIntoSign(group);
+        if (!any)
+            break;
+    }
+}
+
+void
+C2MEngine::foldTopBorrowIntoSign(unsigned group)
+{
+    // Osign ^= Onext(top); Onext(top) <- 0. An overflow back across
+    // zero cancels a pending sign, so XOR is the correct fold.
+    for (unsigned r = 0; r < replicas(); ++r) {
+        const auto &l = layouts_[physIndex(group, r)];
+        const unsigned top = l.numDigits() - 1;
+        cim::AmbitProgram p;
+        const unsigned s0 = l.scratchRow(2);
+        const unsigned s1 = l.scratchRow(3);
+        uprog::AmbitCodegen::emitAndNot(p, l.osignRow(),
+                                        l.onextRow(top), s0);
+        uprog::AmbitCodegen::emitAndNot(p, l.onextRow(top),
+                                        l.osignRow(), s1);
+        uprog::AmbitCodegen::emitOr(p, s0, s1, l.osignRow());
+        p.aap(RowRef::c0(), RowRef::data(l.onextRow(top)));
+        sub_.run(p);
+    }
+}
+
+void
+C2MEngine::drain(unsigned group)
+{
+    for (unsigned d : schedulers_[group].drain())
+        ripple(group, d);
+}
+
+std::vector<int64_t>
+C2MEngine::readCounters(unsigned group)
+{
+    const auto &l = layouts_[physIndex(group, 0)];
+    const unsigned n = bitsPerDigit_;
+    const unsigned D = l.numDigits();
+    const unsigned R = cfg_.radix;
+
+    // Snapshot all rows once.
+    std::vector<const BitVector *> bit_rows(D * n);
+    std::vector<const BitVector *> onext_rows(D);
+    for (unsigned dd = 0; dd < D; ++dd) {
+        for (unsigned i = 0; i < n; ++i)
+            bit_rows[dd * n + i] = &sub_.hostReadRow(l.bitRow(dd, i));
+        onext_rows[dd] = &sub_.hostReadRow(l.onextRow(dd));
+    }
+    const BitVector &osign = sub_.hostReadRow(l.osignRow());
+
+    __int128 modulus = 1;
+    for (unsigned dd = 0; dd < D; ++dd)
+        modulus *= R;
+
+    std::vector<int64_t> out(cfg_.numCounters);
+    for (size_t col = 0; col < cfg_.numCounters; ++col) {
+        __int128 value = 0;
+        __int128 weight = 1;
+        for (unsigned dd = 0; dd < D; ++dd) {
+            uint64_t bits = 0;
+            for (unsigned i = 0; i < n; ++i)
+                if (bit_rows[dd * n + i]->get(col))
+                    bits |= 1ULL << i;
+            int v = jc::decode(n, bits);
+            if (v < 0) {
+                ++stats_.invalidStates;
+                v = static_cast<int>(jc::decodeNearest(n, bits));
+            }
+            __int128 digit_val = v;
+            if (onext_rows[dd]->get(col))
+                digit_val += R;
+            value += digit_val * weight;
+            weight *= R;
+        }
+        if (osign.get(col))
+            value -= modulus;
+        out[col] = static_cast<int64_t>(value);
+    }
+    return out;
+}
+
+void
+C2MEngine::addCounters(unsigned dst_group, unsigned src_group)
+{
+    C2M_ASSERT(dst_group != src_group,
+               "in-place doubling needs shiftLeft with a spare group");
+    C2M_ASSERT(!groupHasDecrements_[src_group] &&
+                   !groupHasDecrements_[dst_group],
+               "vector addition requires unsigned-mode groups");
+    drain(src_group);
+    drain(dst_group);
+
+    const auto &src = layouts_[physIndex(src_group, 0)];
+    const auto &dst0 = layouts_[physIndex(dst_group, 0)];
+    const unsigned n = bitsPerDigit_;
+    const unsigned theta = dst0.scratchRow(2);
+    const unsigned mrow = dst0.scratchRow(3);
+
+    // The guard (top) digit of any in-capacity counter is zero, so
+    // only the digits below it participate.
+    for (unsigned dd = 0; dd + 1 < dst0.numDigits(); ++dd) {
+        if (dd >= src.numDigits())
+            break;
+        // The digit receives at most R-1; create headroom through the
+        // scheduler exactly like a broadcast add of R-1 would.
+        std::vector<unsigned> worst(dd + 1, 0);
+        worst[dd] = cfg_.radix - 1;
+        for (unsigned d : schedulers_[dst_group].prepareAdd(worst))
+            ripple(dst_group, d);
+        schedulers_[dst_group].applyAdd(worst);
+        // Theta <- src MSB; first pass uses mask = bit OR Theta from
+        // the MSB down, second pass mask = Theta AND NOT bit from the
+        // LSB up (Alg. 2 with Theta updated in both passes).
+        cim::AmbitProgram init;
+        uprog::AmbitCodegen::emitCopy(init, src.bitRow(dd, n - 1),
+                                      theta);
+        sub_.run(init);
+
+        for (unsigned b = n; b-- > 0;) {
+            cim::AmbitProgram mk;
+            uprog::AmbitCodegen::emitOr(mk, src.bitRow(dd, b), theta,
+                                        mrow);
+            uprog::AmbitCodegen::emitCopy(mk, mrow, theta);
+            sub_.run(mk);
+            // Use the raw mask row (it is not a registered handle).
+            for (unsigned r = 0; r < replicas(); ++r)
+                runChecked(codegen_[physIndex(dst_group, r)]
+                               .karyIncrement(dd, 1, mrow));
+            if (cfg_.protection == Protection::Tmr)
+                voteDigit(dst_group, dd);
+            ++stats_.increments;
+        }
+        for (unsigned b = 0; b < n; ++b) {
+            cim::AmbitProgram mk;
+            uprog::AmbitCodegen::emitAndNot(mk, theta,
+                                            src.bitRow(dd, b), mrow);
+            uprog::AmbitCodegen::emitCopy(mk, mrow, theta);
+            sub_.run(mk);
+            for (unsigned r = 0; r < replicas(); ++r)
+                runChecked(codegen_[physIndex(dst_group, r)]
+                               .karyIncrement(dd, 1, mrow));
+            if (cfg_.protection == Protection::Tmr)
+                voteDigit(dst_group, dd);
+            ++stats_.increments;
+        }
+        // The source digit's pending-overflow flags were drained
+        // above, so none remain by construction.
+    }
+}
+
+void
+C2MEngine::relu(unsigned group)
+{
+    for (unsigned r = 0; r < replicas(); ++r) {
+        const auto &l = layouts_[physIndex(group, r)];
+        cim::AmbitProgram p;
+        for (unsigned dd = 0; dd < l.numDigits(); ++dd) {
+            for (unsigned i = 0; i < bitsPerDigit_; ++i)
+                uprog::AmbitCodegen::emitAndNot(
+                    p, l.bitRow(dd, i), l.osignRow(), l.bitRow(dd, i));
+            uprog::AmbitCodegen::emitAndNot(
+                p, l.onextRow(dd), l.osignRow(), l.onextRow(dd));
+        }
+        p.aap(RowRef::c0(), RowRef::data(l.osignRow()));
+        sub_.run(p);
+    }
+}
+
+void
+C2MEngine::shiftLeft(unsigned group, unsigned spare_group,
+                     unsigned amount)
+{
+    C2M_ASSERT(spare_group != group, "spare must differ from group");
+    for (unsigned step = 0; step < amount; ++step) {
+        drain(group);
+        // spare <- group (row copies), then group += spare.
+        for (unsigned r = 0; r < replicas(); ++r) {
+            const auto &from = layouts_[physIndex(group, r)];
+            const auto &to = layouts_[physIndex(spare_group, r)];
+            cim::AmbitProgram p;
+            for (unsigned dd = 0; dd < from.numDigits(); ++dd) {
+                for (unsigned i = 0; i < bitsPerDigit_; ++i)
+                    uprog::AmbitCodegen::emitCopy(
+                        p, from.bitRow(dd, i), to.bitRow(dd, i));
+                uprog::AmbitCodegen::emitCopy(p, from.onextRow(dd),
+                                              to.onextRow(dd));
+            }
+            uprog::AmbitCodegen::emitCopy(p, from.osignRow(),
+                                          to.osignRow());
+            sub_.run(p);
+        }
+        schedulers_[spare_group] = schedulers_[group];
+        addCounters(group, spare_group);
+    }
+}
+
+} // namespace core
+} // namespace c2m

@@ -1,0 +1,185 @@
+#ifndef C2M_CORE_ENGINE_HPP
+#define C2M_CORE_ENGINE_HPP
+
+/**
+ * @file
+ * The Count2Multiply execution engine (Sec. 5).
+ *
+ * One engine instance owns a functional Ambit subarray holding one or
+ * more groups of column-parallel multi-digit Johnson counters plus
+ * the mask rows of the stationary operand Z. The host-side routine
+ * converts each streamed input value into k-ary increment muPrograms
+ * (digit unpacking, Sec. 5.1), schedules deferred carry rippling with
+ * IARM (Sec. 4.5.2), and executes the ECC-protected variants with
+ * check-and-retry when protection is enabled (Sec. 6).
+ *
+ * Counter groups:
+ *  - kernels needing signed results use two groups dual-rail
+ *    (accumulate positive contributions in group 0, negative in
+ *    group 1, subtract at readout);
+ *  - TMR replicates every group three times and votes after each
+ *    digit update;
+ *  - tensor ops (vector add, shift-left) operate across groups.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "cim/ambit.hpp"
+#include "cim/fault.hpp"
+#include "jc/iarm.hpp"
+#include "jc/layout.hpp"
+#include "uprog/codegen_ambit.hpp"
+#include "uprog/microop.hpp"
+
+namespace c2m {
+namespace core {
+
+enum class Protection : uint8_t
+{
+    None, ///< raw CIM
+    Ecc,  ///< XOR-embedded FR checks with retry (Sec. 6)
+    Tmr,  ///< triple modular redundancy with majority vote
+};
+
+enum class RippleMode : uint8_t
+{
+    Iarm,       ///< input-aware rippling minimization (Sec. 4.5.2)
+    FullRipple, ///< full carry propagation after every input
+};
+
+enum class CountMode : uint8_t
+{
+    Kary, ///< one increment per non-zero digit (Sec. 4.5.1)
+    Unit, ///< d unit increments per digit value d (Sec. 4.4)
+};
+
+struct EngineConfig
+{
+    unsigned radix = 4;
+    unsigned capacityBits = 32;
+    size_t numCounters = 256;
+    unsigned numGroups = 1;
+    unsigned maxMaskRows = 64;
+    Protection protection = Protection::None;
+    unsigned frChecks = 1;   ///< FR computations per masking step
+    unsigned maxRetries = 4; ///< re-executions before giving up
+    RippleMode ripple = RippleMode::Iarm;
+    CountMode counting = CountMode::Kary;
+    double faultRate = 0.0;  ///< per-bit MAJ3 fault probability
+    uint64_t seed = 1;
+};
+
+struct EngineStats
+{
+    uint64_t inputsAccumulated = 0;
+    uint64_t increments = 0;
+    uint64_t ripples = 0;
+    uint64_t checksRun = 0;
+    uint64_t faultsDetected = 0;
+    uint64_t retries = 0;
+    uint64_t uncorrectedBlocks = 0;
+    uint64_t invalidStates = 0; ///< unreadable JC patterns at readout
+    uint64_t voteOps = 0;
+};
+
+class C2MEngine
+{
+  public:
+    explicit C2MEngine(const EngineConfig &cfg);
+
+    const EngineConfig &config() const { return cfg_; }
+    const EngineStats &stats() const { return stats_; }
+    cim::AmbitSubarray &subarray() { return sub_; }
+    const jc::CounterLayout &layout(unsigned group = 0) const;
+
+    /** Store a binary mask (the next row of Z); returns its handle. */
+    unsigned addMask(const std::vector<uint8_t> &mask);
+    unsigned numMasks() const { return numMasks_; }
+    /** Overwrite an existing mask row. */
+    void setMask(unsigned handle, const std::vector<uint8_t> &mask);
+
+    /**
+     * Accumulate @p value into every counter of @p group whose bit in
+     * mask @p mask_handle is set (value >= 0).
+     */
+    void accumulate(uint64_t value, unsigned mask_handle,
+                    unsigned group = 0);
+
+    /** Signed accumulation: negative values decrement (Sec. 4.4). */
+    void accumulateSigned(int64_t value, unsigned mask_handle,
+                          unsigned group = 0);
+
+    /** Current counter values (Onext/Osign accounted, no draining). */
+    std::vector<int64_t> readCounters(unsigned group = 0);
+
+    /** Reset counters of all groups to zero. */
+    void clear();
+
+    // ---- Tensor-style operations (Sec. 5.2.4) ----
+
+    /** dst += src element-wise (JC vector addition, Alg. 2). */
+    void addCounters(unsigned dst_group, unsigned src_group);
+
+    /** Zero all counters of @p group that are negative (Osign). */
+    void relu(unsigned group);
+
+    /**
+     * counters <<= amount via repeated doubling; @p spare_group is
+     * clobbered as scratch.
+     */
+    void shiftLeft(unsigned group, unsigned spare_group,
+                   unsigned amount);
+
+    /** Resolve every pending overflow of a group (Sec. 4.4). */
+    void drain(unsigned group);
+
+  private:
+    /** Physical replica count per logical group (3 for TMR). */
+    unsigned replicas() const
+    {
+        return cfg_.protection == Protection::Tmr ? 3 : 1;
+    }
+    unsigned physIndex(unsigned group, unsigned replica) const;
+
+    /** Run a checked program on one physical layout with retries. */
+    void runChecked(const uprog::CheckedProgram &prog);
+
+    /** Majority-vote the rows of digit @p digit across replicas. */
+    void voteDigit(unsigned group, unsigned digit);
+    void voteRows(const std::vector<unsigned> &rows_per_replica);
+
+    void incrementDigit(unsigned group, unsigned digit, unsigned k,
+                        unsigned mask_row);
+    void decrementDigit(unsigned group, unsigned digit, unsigned k,
+                        unsigned mask_row);
+    void ripple(unsigned group, unsigned digit);
+    void borrowRipple(unsigned group, unsigned digit);
+
+    /**
+     * Clear every pending flag by repeated highest-first passes
+     * (each pass moves fresh pendings one digit up; top pendings
+     * fold into Osign). Used in signed mode, where Onext must be
+     * unambiguous before the direction can change.
+     */
+    void resolveAllPendings(unsigned group, bool borrows);
+    void foldTopBorrowIntoSign(unsigned group);
+
+    unsigned maskRowIndex(unsigned handle) const;
+
+    EngineConfig cfg_;
+    unsigned bitsPerDigit_;
+    std::vector<jc::CounterLayout> layouts_;  ///< per physical replica
+    std::vector<uprog::AmbitCodegen> codegen_; ///< per physical replica
+    std::vector<jc::IarmScheduler> schedulers_; ///< per logical group
+    std::vector<bool> groupHasDecrements_;
+    unsigned maskBase_;
+    unsigned numMasks_ = 0;
+    cim::AmbitSubarray sub_;
+    EngineStats stats_;
+};
+
+} // namespace core
+} // namespace c2m
+
+#endif // C2M_CORE_ENGINE_HPP

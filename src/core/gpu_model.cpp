@@ -1,0 +1,45 @@
+#include "core/gpu_model.hpp"
+
+#include <algorithm>
+
+namespace c2m {
+namespace core {
+
+GpuModel::Result
+GpuModel::run(size_t M, size_t N, size_t K) const
+{
+    const double ops = 2.0 * static_cast<double>(M) *
+                       static_cast<double>(N) *
+                       static_cast<double>(K);
+
+    // Bytes touched once: weights K*N, inputs M*K, outputs M*N.
+    const double weight_bytes =
+        static_cast<double>(K) * static_cast<double>(N);
+    const double io_bytes =
+        static_cast<double>(M) *
+        (static_cast<double>(K) + static_cast<double>(N));
+
+    const double mem_s = (weight_bytes + io_bytes) / (memBwGBs * 1e9);
+    const double compute_s =
+        ops / (tensorTops * tensorEfficiency * 1e12);
+    const double kernel_s = std::max(mem_s, compute_s);
+
+    const double transfer_s =
+        (weight_bytes + io_bytes) / (pcieGBs * 1e9);
+
+    const bool memory_bound = mem_s >= compute_s;
+    const double power = memory_bound ? gemvPowerW : gemmPowerW;
+
+    Result r;
+    r.kernelMs = kernel_s * 1e3;
+    r.transferMs = transfer_s * 1e3;
+    r.totalMs = r.kernelMs + r.transferMs;
+    r.gops = ops / kernel_s / 1e9;
+    r.gopsWithTransfer = ops / (kernel_s + transfer_s) / 1e9;
+    r.gopsPerWatt = r.gops / power;
+    r.gopsPerMm2 = r.gops / areaMm2;
+    return r;
+}
+
+} // namespace core
+} // namespace c2m

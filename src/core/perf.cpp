@@ -1,0 +1,154 @@
+#include "core/perf.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "ecc/analysis.hpp"
+#include "jc/johnson.hpp"
+
+namespace c2m {
+namespace core {
+
+DramPerfModel::DramPerfModel(dram::DramTimings t, dram::EnergyModel e,
+                             dram::DramGeometry g)
+    : timings_(t), energy_(e), geometry_(g)
+{
+}
+
+PerfResult
+DramPerfModel::evaluate(uint64_t aaps, uint64_t row_accesses,
+                        unsigned banks, double useful_ops) const
+{
+    PerfResult r;
+    r.aaps = aaps;
+    r.rowAccesses = row_accesses;
+
+    const double stream_ns =
+        dram::AapScheduler::streamTimeNs(timings_, aaps, banks);
+    const double row_ns =
+        static_cast<double>(row_accesses) *
+        timings_.rowAccessNs(geometry_.rankRowBytes());
+    const double time_ns = stream_ns + row_ns;
+    if (time_ns <= 0.0)
+        return r;
+
+    const double energy_nj =
+        static_cast<double>(aaps) * energy_.aapEnergyNj() +
+        static_cast<double>(row_accesses) *
+            energy_.rowAccessEnergyNj(geometry_.rankRowBytes()) +
+        energy_.staticPowerW() * time_ns;
+
+    r.timeMs = time_ns * 1e-6;
+    r.energyMj = energy_nj * 1e-6;
+    r.avgPowerW = energy_nj / time_ns;
+    r.gops = useful_ops / time_ns; // ops per ns == GOPS
+    r.gopsPerWatt = r.gops / r.avgPowerW;
+    r.gopsPerMm2 = r.gops / energy_.rankAreaMm2();
+    return r;
+}
+
+namespace {
+
+std::vector<uint64_t>
+sampleInputs(const TensorWorkload &w)
+{
+    Rng rng(w.seed);
+    std::vector<uint64_t> values(w.K);
+    const uint64_t bound = 1ULL << w.xBits;
+    for (auto &v : values) {
+        if (w.sparsity > 0.0 && rng.nextBool(w.sparsity))
+            v = 0;
+        else
+            v = 1 + rng.nextBounded(bound - 1);
+    }
+    return values;
+}
+
+} // namespace
+
+PerfResult
+c2mWorkloadPerf(const TensorWorkload &w, const C2mDesign &design,
+                const DramPerfModel &model)
+{
+    const C2mCostModel cm(design.radix, design.capacityBits,
+                          design.protect, design.frChecks,
+                          design.counting, design.ripple);
+
+    const auto values = sampleInputs(w);
+    const auto stream = cm.accumulateStream(values);
+    const double plane_factor = w.ternary ? 2.0 : 1.0;
+
+    const auto &geom = model.geometry();
+    const uint64_t groups =
+        (w.N + geom.colsPerRankRow() - 1) / geom.colsPerRankRow();
+
+    double aaps = static_cast<double>(stream.aaps) * plane_factor *
+                  static_cast<double>(groups) *
+                  static_cast<double>(w.M);
+
+    // Counter readout + re-initialization per output row per group.
+    const unsigned n = jc::bitsForRadix(design.radix);
+    const uint64_t counter_rows = cm.numDigits() * (n + 1) + 1;
+    uint64_t row_accesses = 2ULL * counter_rows * groups * w.M;
+
+    // GEMV splits K across banks and reduces with JC vector adds.
+    if (w.M == 1 && design.banks > 1) {
+        aaps += static_cast<double>(design.banks - 1) *
+                static_cast<double>(cm.counterAddOps()) *
+                static_cast<double>(groups) * plane_factor;
+        row_accesses +=
+            2ULL * (design.banks - 1) * counter_rows * groups;
+    }
+
+    // Detected-fault re-execution overhead of the protected scheme
+    // (Sec. 7.3.2: row-granular retries).
+    if (design.protect) {
+        aaps *= ecc::ProtectionModel::expectedRetriesPerRow(
+            design.faultRate, 2 * design.frChecks, 512);
+    }
+
+    const double useful = 2.0 * static_cast<double>(w.M) *
+                          static_cast<double>(w.N) *
+                          static_cast<double>(w.K);
+    return model.evaluate(static_cast<uint64_t>(aaps), row_accesses,
+                          design.banks, useful);
+}
+
+PerfResult
+simdramWorkloadPerf(const TensorWorkload &w,
+                    const SimdramDesign &design,
+                    const DramPerfModel &model)
+{
+    const RcaCostModel rm(design.accBits);
+    const double plane_factor = w.ternary ? 2.0 : 1.0;
+
+    const auto &geom = model.geometry();
+    const uint64_t groups =
+        (w.N + geom.colsPerRankRow() - 1) / geom.colsPerRankRow();
+
+    // RCA cannot skip zero inputs: all K elements ripple fully.
+    double aaps = static_cast<double>(w.K) *
+                  static_cast<double>(rm.accumulateOps()) *
+                  plane_factor * static_cast<double>(groups) *
+                  static_cast<double>(w.M);
+
+    const uint64_t acc_rows = design.accBits + 2;
+    uint64_t row_accesses = 2ULL * acc_rows * groups * w.M;
+
+    if (w.M == 1 && design.banks > 1) {
+        aaps += static_cast<double>(design.banks - 1) *
+                static_cast<double>(rm.accumulateOps()) *
+                static_cast<double>(groups) * plane_factor;
+        row_accesses += 2ULL * (design.banks - 1) * acc_rows * groups;
+    }
+
+    const double useful = 2.0 * static_cast<double>(w.M) *
+                          static_cast<double>(w.N) *
+                          static_cast<double>(w.K);
+    return model.evaluate(static_cast<uint64_t>(aaps), row_accesses,
+                          design.banks, useful);
+}
+
+} // namespace core
+} // namespace c2m

@@ -1,0 +1,103 @@
+#ifndef C2M_CORE_PERF_HPP
+#define C2M_CORE_PERF_HPP
+
+/**
+ * @file
+ * End-to-end performance model (Sec. 7.2): turns command counts into
+ * latency (via the tRRD/tFAW/tAAP stream scheduler), energy, and the
+ * paper's three headline metrics -- GOPS, GOPS/W and GOPS/mm^2 --
+ * for both Count2Multiply and the SIMDRAM baseline on tensor
+ * workload shapes.
+ */
+
+#include <cstdint>
+
+#include "core/costmodel.hpp"
+#include "dram/energy.hpp"
+#include "dram/geometry.hpp"
+#include "dram/scheduler.hpp"
+#include "dram/timing.hpp"
+
+namespace c2m {
+namespace core {
+
+struct PerfResult
+{
+    double timeMs = 0.0;
+    double energyMj = 0.0;  ///< millijoules
+    double avgPowerW = 0.0;
+    double gops = 0.0;
+    double gopsPerWatt = 0.0;
+    double gopsPerMm2 = 0.0;
+    uint64_t aaps = 0;
+    uint64_t rowAccesses = 0;
+};
+
+class DramPerfModel
+{
+  public:
+    DramPerfModel(dram::DramTimings t = dram::DramTimings::ddr5_4400(),
+                  dram::EnergyModel e = dram::EnergyModel::ddr5(),
+                  dram::DramGeometry g = dram::DramGeometry::ddr5_4gb());
+
+    const dram::DramTimings &timings() const { return timings_; }
+    const dram::EnergyModel &energy() const { return energy_; }
+    const dram::DramGeometry &geometry() const { return geometry_; }
+
+    /**
+     * Latency/energy/metrics of a uniform AAP stream plus row
+     * accesses, with @p useful_ops nominal operations performed.
+     */
+    PerfResult evaluate(uint64_t aaps, uint64_t row_accesses,
+                        unsigned banks, double useful_ops) const;
+
+  private:
+    dram::DramTimings timings_;
+    dram::EnergyModel energy_;
+    dram::DramGeometry geometry_;
+};
+
+/** A tensor workload shape: Y[M x N] = X[M x K] . Z[K x N]. */
+struct TensorWorkload
+{
+    size_t M = 1;
+    size_t N = 1;
+    size_t K = 1;
+    unsigned xBits = 8;       ///< input magnitude bits
+    double sparsity = 0.0;    ///< fraction of zero inputs
+    bool ternary = true;      ///< Z in {-1,0,1} (two mask planes)
+    uint64_t seed = 11;
+};
+
+struct C2mDesign
+{
+    unsigned radix = 4;
+    unsigned capacityBits = 64;
+    unsigned banks = 16;
+    bool protect = false;
+    unsigned frChecks = 1;
+    double faultRate = 1e-4;  ///< drives the correction overhead
+    CountMode counting = CountMode::Kary;
+    RippleMode ripple = RippleMode::Iarm;
+};
+
+struct SimdramDesign
+{
+    unsigned accBits = 64;
+    unsigned banks = 16;
+};
+
+/** Count2Multiply performance on a tensor workload. */
+PerfResult c2mWorkloadPerf(const TensorWorkload &w,
+                           const C2mDesign &design,
+                           const DramPerfModel &model);
+
+/** SIMDRAM (RCA) baseline performance on the same workload. */
+PerfResult simdramWorkloadPerf(const TensorWorkload &w,
+                               const SimdramDesign &design,
+                               const DramPerfModel &model);
+
+} // namespace core
+} // namespace c2m
+
+#endif // C2M_CORE_PERF_HPP

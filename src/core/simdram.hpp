@@ -1,0 +1,98 @@
+#ifndef C2M_CORE_SIMDRAM_HPP
+#define C2M_CORE_SIMDRAM_HPP
+
+/**
+ * @file
+ * SIMDRAM-style baseline engine (Sec. 7.1): bit-serial ripple-carry
+ * accumulation into vertically laid out W-bit binary accumulators.
+ * Every masked accumulation ripples through all W bit positions
+ * regardless of the addend's magnitude -- the cost the paper's
+ * high-radix counting removes. Supports the same protection schemes
+ * as the C2M engine for the fault-accuracy comparisons (Fig. 4/17).
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "cim/ambit.hpp"
+#include "uprog/codegen_rca.hpp"
+
+namespace c2m {
+namespace core {
+
+enum class RcaProtection : uint8_t
+{
+    None,
+    Ecc, ///< duplicate-compute-and-compare with retry
+    Tmr, ///< three accumulator replicas with majority vote
+};
+
+struct SimdramConfig
+{
+    unsigned accBits = 32;
+    size_t numElements = 256;
+    unsigned maxMaskRows = 64;
+    RcaProtection protection = RcaProtection::None;
+    unsigned maxRetries = 4;
+    double faultRate = 0.0;
+    uint64_t seed = 1;
+};
+
+struct SimdramStats
+{
+    uint64_t accumulates = 0;
+    uint64_t checksRun = 0;
+    uint64_t faultsDetected = 0;
+    uint64_t retries = 0;
+    uint64_t uncorrectedBlocks = 0;
+    uint64_t voteOps = 0;
+};
+
+class SimdramEngine
+{
+  public:
+    explicit SimdramEngine(const SimdramConfig &cfg);
+
+    const SimdramConfig &config() const { return cfg_; }
+    const SimdramStats &stats() const { return stats_; }
+    cim::AmbitSubarray &subarray() { return sub_; }
+
+    unsigned addMask(const std::vector<uint8_t> &mask);
+    void setMask(unsigned handle, const std::vector<uint8_t> &mask);
+
+    /** acc[j] += value where mask bit j is set (mod 2^accBits). */
+    void accumulate(uint64_t value, unsigned mask_handle);
+
+    /** Two's-complement signed accumulate (adds 2^W - |v|). */
+    void accumulateSigned(int64_t value, unsigned mask_handle);
+
+    /** Read accumulators as unsigned W-bit values. */
+    std::vector<uint64_t> read();
+
+    /** Read accumulators interpreting the top bit as sign. */
+    std::vector<int64_t> readSigned();
+
+    void clear();
+
+  private:
+    unsigned replicas() const
+    {
+        return cfg_.protection == RcaProtection::Tmr ? 3u : 1u;
+    }
+
+    void runChecked(const uprog::CheckedProgram &prog);
+    void voteAll();
+
+    SimdramConfig cfg_;
+    std::vector<uprog::RcaLayout> layouts_;
+    std::vector<uprog::RcaCodegen> codegen_;
+    unsigned maskBase_;
+    unsigned numMasks_ = 0;
+    cim::AmbitSubarray sub_;
+    SimdramStats stats_;
+};
+
+} // namespace core
+} // namespace c2m
+
+#endif // C2M_CORE_SIMDRAM_HPP

@@ -1,0 +1,71 @@
+#ifndef C2M_DRAM_ENERGY_HPP
+#define C2M_DRAM_ENERGY_HPP
+
+/**
+ * @file
+ * Energy and area model for the DRAM rank and the CIM command stream.
+ *
+ * Per-command energies are representative DDR4/DDR5 datasheet-derived
+ * values (row activation ~1.2 nJ and precharge ~0.3 nJ per chip for a
+ * 1 KB chip row); an AAP performs two activations and one precharge in
+ * every chip of the rank (data + ECC chips operate in lockstep).
+ * Throughput-per-area uses a representative 45 mm^2 die for a 4 Gb
+ * DDR5 chip; the GPU baseline die is 628 mm^2 (GA102).
+ *
+ * Absolute joules are not the reproduction target -- the paper's
+ * GOPS/W and GOPS/mm^2 *ratios* between SIMDRAM, C2M and the GPU are,
+ * and those depend on these constants only through common factors.
+ */
+
+#include <cstdint>
+
+namespace c2m {
+namespace dram {
+
+struct EnergyModel
+{
+    double eActPerChipNj = 1.2;
+    double ePrePerChipNj = 0.3;
+    double eBurstPerChipNj = 0.025;   ///< per 64 B rank burst, per chip
+    double staticPowerPerChipW = 0.08;
+    unsigned chipsPerRank = 9;        ///< 8 data + 1 ECC
+    double chipAreaMm2 = 45.0;
+
+    /** Energy of one AAP across the rank (2 ACT + 1 PRE per chip). */
+    double aapEnergyNj() const
+    {
+        return chipsPerRank * (2.0 * eActPerChipNj + ePrePerChipNj);
+    }
+
+    /** Energy of one AP across the rank (1 ACT + 1 PRE per chip). */
+    double apEnergyNj() const
+    {
+        return chipsPerRank * (eActPerChipNj + ePrePerChipNj);
+    }
+
+    /** Energy to read or write one full rank row. */
+    double rowAccessEnergyNj(unsigned row_bytes) const
+    {
+        const double bursts = static_cast<double>(row_bytes) / 64.0;
+        return chipsPerRank *
+               (eActPerChipNj + ePrePerChipNj +
+                bursts * eBurstPerChipNj);
+    }
+
+    double staticPowerW() const
+    {
+        return chipsPerRank * staticPowerPerChipW;
+    }
+
+    double rankAreaMm2() const
+    {
+        return chipsPerRank * chipAreaMm2;
+    }
+
+    static EnergyModel ddr5() { return EnergyModel{}; }
+};
+
+} // namespace dram
+} // namespace c2m
+
+#endif // C2M_DRAM_ENERGY_HPP

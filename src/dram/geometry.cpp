@@ -1,0 +1,38 @@
+#include "dram/geometry.hpp"
+
+#include <sstream>
+
+namespace c2m {
+namespace dram {
+
+DramGeometry
+DramGeometry::ddr5_4gb()
+{
+    DramGeometry g;
+    g.channels = 1;
+    g.ranksPerChannel = 1;
+    g.dataChipsPerRank = 8;
+    g.eccChipsPerRank = 1;
+    g.banksPerChip = 32;
+    g.subarraysPerBank = 16;
+    g.rowsPerSubarray = 1024;
+    g.rowBytesPerChip = 1024;
+    return g;
+}
+
+std::string
+DramGeometry::describe() const
+{
+    std::ostringstream os;
+    os << channels << " channel(s), " << ranksPerChannel
+       << " rank(s), " << dataChipsPerRank << "+" << eccChipsPerRank
+       << " chips, " << banksPerChip << " banks/chip, "
+       << subarraysPerBank << " subarrays/bank, " << rowsPerSubarray
+       << " rows/subarray, " << rowBytesPerChip
+       << " B chip row (" << rankRowBytes() / 1024
+       << " KB rank row), " << (chipBits() >> 30) << " Gb/chip";
+    return os.str();
+}
+
+} // namespace dram
+} // namespace c2m

@@ -1,0 +1,68 @@
+#ifndef C2M_DRAM_GEOMETRY_HPP
+#define C2M_DRAM_GEOMETRY_HPP
+
+/**
+ * @file
+ * DRAM organization (Sec. 2.1, Tab. 2).
+ *
+ * A channel connects ranks of chips operating in lockstep; each chip
+ * has banks, each bank subarrays, each subarray rows of cells sensed
+ * by a local row buffer. The evaluated configuration is one channel,
+ * one rank, 8 data chips + 1 ECC chip, 4 Gb chips with 32 banks,
+ * 1 KB chip rows (8 KB rank rows) and 1024-row subarrays.
+ */
+
+#include <cstdint>
+#include <string>
+
+namespace c2m {
+namespace dram {
+
+struct DramGeometry
+{
+    unsigned channels = 1;
+    unsigned ranksPerChannel = 1;
+    unsigned dataChipsPerRank = 8;
+    unsigned eccChipsPerRank = 1;
+    unsigned banksPerChip = 32;
+    unsigned subarraysPerBank = 16;
+    unsigned rowsPerSubarray = 1024;
+    unsigned rowBytesPerChip = 1024;
+
+    unsigned chipsPerRank() const
+    {
+        return dataChipsPerRank + eccChipsPerRank;
+    }
+
+    /** Columns (bitlines) of one chip's subarray row. */
+    unsigned colsPerChipRow() const { return rowBytesPerChip * 8; }
+
+    /** Data columns of one rank-level row (all data chips lockstep). */
+    unsigned colsPerRankRow() const
+    {
+        return dataChipsPerRank * colsPerChipRow();
+    }
+
+    /** Rank-level row size in bytes (the controller's view, Tab. 2). */
+    unsigned rankRowBytes() const
+    {
+        return dataChipsPerRank * rowBytesPerChip;
+    }
+
+    /** Chip capacity in bits. */
+    uint64_t chipBits() const
+    {
+        return static_cast<uint64_t>(banksPerChip) * subarraysPerBank *
+               rowsPerSubarray * rowBytesPerChip * 8;
+    }
+
+    /** Tab. 2 configuration: DDR5, 4 Gb chips, 32 banks, 1 KB rows. */
+    static DramGeometry ddr5_4gb();
+
+    std::string describe() const;
+};
+
+} // namespace dram
+} // namespace c2m
+
+#endif // C2M_DRAM_GEOMETRY_HPP

@@ -1,0 +1,56 @@
+#include "dram/subarray.hpp"
+
+#include "common/logging.hpp"
+
+namespace c2m {
+namespace dram {
+
+std::vector<BitVector>
+transposeToRows(const std::vector<uint64_t> &values, unsigned num_bits,
+                size_t cols)
+{
+    C2M_ASSERT(values.size() <= cols, "more values than columns");
+    C2M_ASSERT(num_bits >= 1 && num_bits <= 64, "bad bit width");
+    std::vector<BitVector> rows(num_bits, BitVector(cols));
+    for (size_t j = 0; j < values.size(); ++j) {
+        const uint64_t v = values[j];
+        if (num_bits < 64)
+            C2M_ASSERT(v < (1ULL << num_bits), "value ", v,
+                       " does not fit in ", num_bits, " bits");
+        for (unsigned b = 0; b < num_bits; ++b)
+            if ((v >> b) & 1)
+                rows[b].set(j, true);
+    }
+    return rows;
+}
+
+std::vector<uint64_t>
+transposeFromRows(const std::vector<BitVector> &rows, size_t count)
+{
+    C2M_ASSERT(!rows.empty(), "no rows to transpose");
+    C2M_ASSERT(rows.size() <= 64, "too many rows for uint64 values");
+    C2M_ASSERT(count <= rows[0].size(), "more columns than the row has");
+    std::vector<uint64_t> values(count, 0);
+    for (unsigned b = 0; b < rows.size(); ++b) {
+        C2M_ASSERT(rows[b].size() == rows[0].size(),
+                   "ragged row widths");
+        for (size_t j = 0; j < count; ++j)
+            if (rows[b].get(j))
+                values[j] |= 1ULL << b;
+    }
+    return values;
+}
+
+BitVector
+maskRow(const std::vector<uint8_t> &mask, size_t cols)
+{
+    C2M_ASSERT(mask.size() <= cols, "mask longer than the row");
+    BitVector row(cols);
+    for (size_t j = 0; j < mask.size(); ++j)
+        if (mask[j])
+            row.set(j, true);
+    return row;
+}
+
+} // namespace dram
+} // namespace c2m

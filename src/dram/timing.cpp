@@ -1,0 +1,25 @@
+#include "dram/timing.hpp"
+
+#include <sstream>
+
+namespace c2m {
+namespace dram {
+
+DramTimings
+DramTimings::ddr5_4400()
+{
+    return DramTimings{};
+}
+
+std::string
+DramTimings::describe() const
+{
+    std::ostringstream os;
+    os << "tCK=" << tCkNs << "ns tRAS=" << tRasNs << "ns tRP=" << tRpNs
+       << "ns tRCD=" << tRcdNs << "ns tRRD=" << tRrdNs << "ns tFAW="
+       << tFawNs << "ns tAAP=" << tAapNs() << "ns";
+    return os.str();
+}
+
+} // namespace dram
+} // namespace c2m

@@ -1,0 +1,90 @@
+#include "ecc/analysis.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+
+namespace c2m {
+namespace ecc {
+
+double
+ProtectionModel::undetectedErrorRate(double p, unsigned fr_checks)
+{
+    C2M_ASSERT(fr_checks >= 1, "need at least one FR check");
+    const double rate =
+        1.45 * std::pow(p, static_cast<double>(fr_checks + 1));
+    // Below (or at) the conservative DRAM read-error rate the silent
+    // data-dependent faults dominate; the paper reports the bound.
+    return rate <= 2.0 * kReadErrorFloor ? kReadErrorFloor : rate;
+}
+
+double
+ProtectionModel::detectRate(double p, unsigned fr_checks)
+{
+    C2M_ASSERT(fr_checks >= 1, "need at least one FR check");
+    const double exposure = 1.5 + static_cast<double>(fr_checks);
+    return 1.0 - std::pow(1.0 - p, exposure);
+}
+
+double
+ProtectionModel::expectedRetriesPerRow(double p, unsigned fr_checks,
+                                       unsigned row_bits)
+{
+    const double q = detectRate(p, fr_checks);
+    const double row_flag =
+        1.0 - std::pow(1.0 - q, static_cast<double>(row_bits));
+    if (row_flag >= 1.0)
+        return 1e9; // effectively never converges
+    return 1.0 / (1.0 - row_flag);
+}
+
+ProtectionModel::McResult
+ProtectionModel::monteCarlo(double p, unsigned fr_checks,
+                            uint64_t trials, uint64_t seed)
+{
+    Rng rng(seed);
+    uint64_t detected = 0;
+    uint64_t errors = 0;
+
+    for (uint64_t i = 0; i < trials; ++i) {
+        const bool a = rng.nextBool(0.5);
+        const bool b = rng.nextBool(0.5);
+        const bool true_and = a && b;
+        const bool true_xor = a != b;
+
+        // Likely MAJ faults require disagreeing activated cells
+        // (Sec. 6.1): a unanimous triple senses with full margin, so
+        // AND = MAJ(a,b,0) cannot flip when a=b=0, OR = MAJ(a,b,1)
+        // cannot flip when a=b=1, and FR = MAJ(ir1,~ir2,0) cannot
+        // flip when ir1=0 and ir2=1.
+        const bool ir2 =
+            true_and != ((a || b) && rng.nextBool(p));
+        const bool ir1 =
+            (a || b) != (!(a && b) && rng.nextBool(p));
+
+        bool any_mismatch = false;
+        for (unsigned j = 0; j < fr_checks; ++j) {
+            const bool fr_unanimous = !ir1 && ir2;
+            const bool fr =
+                (ir1 && !ir2) != (!fr_unanimous && rng.nextBool(p));
+            if (fr != true_xor)
+                any_mismatch = true;
+        }
+
+        if (any_mismatch)
+            ++detected;
+        else if (ir2 != true_and)
+            ++errors;
+    }
+
+    McResult res;
+    res.detectRate =
+        static_cast<double>(detected) / static_cast<double>(trials);
+    res.errorRate =
+        static_cast<double>(errors) / static_cast<double>(trials);
+    return res;
+}
+
+} // namespace ecc
+} // namespace c2m

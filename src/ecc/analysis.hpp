@@ -1,0 +1,67 @@
+#ifndef C2M_ECC_ANALYSIS_HPP
+#define C2M_ECC_ANALYSIS_HPP
+
+/**
+ * @file
+ * Analytical and Monte-Carlo models of the protection scheme's error
+ * and detection rates (Tab. 1).
+ *
+ * A protected masking step computes IR2 (the wanted AND), IR1 (the
+ * companion OR) and c independent FR = IR1 AND NOT IR2 syntheses
+ * (c = "FR checks"). A likely fault slips through only when the IR
+ * fault is masked by coincident faults in *all* c FR computations,
+ * giving an undetected rate ~ C * p^(c+1); the residue is bounded
+ * below by the data-dependent silent-fault rate, conservatively the
+ * DRAM read error rate of 1e-20. Detection exposure grows with c as
+ * roughly 1 - (1-p)^(1.5 + c).
+ */
+
+#include <cstdint>
+
+namespace c2m {
+namespace ecc {
+
+struct ProtectionModel
+{
+    /** Conservative DRAM read-equivalent silent fault rate. */
+    static constexpr double kReadErrorFloor = 1e-20;
+
+    /**
+     * Per-bit probability of an undetectable error of one protected
+     * masking step (Tab. 1 "Error rate").
+     * @param p CIM per-bit fault rate.
+     * @param fr_checks Total FR computations (Tab. 1 columns 2/4/6).
+     */
+    static double undetectedErrorRate(double p, unsigned fr_checks);
+
+    /** Per-bit probability that the step flags a fault (detect). */
+    static double detectRate(double p, unsigned fr_checks);
+
+    /**
+     * Expected number of executions of a protected block until its
+     * checks pass (retry inflation), 1 / (1 - detectRate) per row of
+     * 512 columns aggregated bit-wise.
+     */
+    static double expectedRetriesPerRow(double p, unsigned fr_checks,
+                                        unsigned row_bits = 512);
+
+    struct McResult
+    {
+        double errorRate = 0.0;
+        double detectRate = 0.0;
+    };
+
+    /**
+     * Mechanistic Monte-Carlo of one protected masking step at the
+     * bit level: faults are injected independently in IR1, IR2 and
+     * each FR computation; a trial detects if any FR differs from the
+     * true XOR and errs if the committed IR2 is wrong undetected.
+     */
+    static McResult monteCarlo(double p, unsigned fr_checks,
+                               uint64_t trials, uint64_t seed = 7);
+};
+
+} // namespace ecc
+} // namespace c2m
+
+#endif // C2M_ECC_ANALYSIS_HPP

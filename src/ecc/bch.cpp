@@ -1,0 +1,191 @@
+#include "ecc/bch.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace c2m {
+namespace ecc {
+
+BchCode::BchCode(unsigned m, unsigned t)
+    : field_(m), n_((1u << m) - 1), t_(t)
+{
+    C2M_ASSERT(t >= 1, "t must be >= 1");
+
+    // Generator = product of the minimal polynomials of alpha^i for
+    // the distinct cyclotomic cosets touching i = 1..2t.
+    std::vector<bool> used(n_, false);
+    std::vector<uint8_t> gen = {1}; // polynomial over GF(2)
+
+    for (unsigned i = 1; i <= 2 * t; ++i) {
+        if (used[i % n_])
+            continue;
+        // Cyclotomic coset of i: {i, 2i, 4i, ...} mod n.
+        std::vector<uint32_t> coset;
+        uint32_t c = i % n_;
+        while (!used[c]) {
+            used[c] = true;
+            coset.push_back(c);
+            c = (c * 2) % n_;
+        }
+        // Minimal polynomial: product over the coset of (x + alpha^c),
+        // computed over GF(2^m); the result has 0/1 coefficients.
+        std::vector<uint32_t> minp = {1};
+        for (uint32_t e : coset) {
+            const uint32_t root = field_.alphaPow(e);
+            std::vector<uint32_t> next(minp.size() + 1, 0);
+            for (size_t d = 0; d < minp.size(); ++d) {
+                next[d + 1] ^= minp[d];                   // x * minp
+                next[d] ^= field_.mul(minp[d], root);     // root*minp
+            }
+            minp = std::move(next);
+        }
+        // Multiply the binary generator by the minimal polynomial.
+        std::vector<uint8_t> next(gen.size() + minp.size() - 1, 0);
+        for (size_t a = 0; a < gen.size(); ++a) {
+            if (!gen[a])
+                continue;
+            for (size_t b = 0; b < minp.size(); ++b) {
+                C2M_ASSERT(minp[b] <= 1,
+                           "minimal polynomial not binary");
+                next[a + b] ^= gen[a] & minp[b];
+            }
+        }
+        gen = std::move(next);
+    }
+
+    gen_ = gen;
+    const unsigned deg = static_cast<unsigned>(gen_.size() - 1);
+    C2M_ASSERT(deg < n_, "generator degree exceeds block length");
+    k_ = n_ - deg;
+}
+
+std::vector<uint8_t>
+BchCode::encodeParity(const std::vector<uint8_t> &data) const
+{
+    C2M_ASSERT(data.size() == k_, "data must have k=", k_, " bits");
+    const unsigned deg = parityBits();
+    // Remainder of data(x) * x^deg divided by g(x), LFSR style.
+    std::vector<uint8_t> rem(deg, 0);
+    for (unsigned j = k_; j-- > 0;) {
+        const uint8_t feedback =
+            static_cast<uint8_t>(data[j] ^ (deg ? rem[deg - 1] : 0));
+        for (unsigned i = deg; i-- > 1;)
+            rem[i] = static_cast<uint8_t>(
+                rem[i - 1] ^ (feedback & gen_[i]));
+        rem[0] = static_cast<uint8_t>(feedback & gen_[0]);
+    }
+    return rem;
+}
+
+std::vector<uint8_t>
+BchCode::encode(const std::vector<uint8_t> &data) const
+{
+    std::vector<uint8_t> parity = encodeParity(data);
+    std::vector<uint8_t> codeword(n_);
+    std::copy(parity.begin(), parity.end(), codeword.begin());
+    std::copy(data.begin(), data.end(),
+              codeword.begin() + parityBits());
+    return codeword;
+}
+
+std::vector<uint32_t>
+BchCode::syndromes(const std::vector<uint8_t> &codeword) const
+{
+    std::vector<uint32_t> syn(2 * t_, 0);
+    for (unsigned j = 1; j <= 2 * t_; ++j) {
+        // S_j = r(alpha^j) via Horner from the top coefficient.
+        uint32_t acc = 0;
+        const uint32_t a = field_.alphaPow(j);
+        for (unsigned i = n_; i-- > 0;)
+            acc = field_.add(field_.mul(acc, a), codeword[i]);
+        syn[j - 1] = acc;
+    }
+    return syn;
+}
+
+bool
+BchCode::check(const std::vector<uint8_t> &codeword) const
+{
+    C2M_ASSERT(codeword.size() == n_, "codeword must have n bits");
+    const auto syn = syndromes(codeword);
+    return std::all_of(syn.begin(), syn.end(),
+                       [](uint32_t s) { return s == 0; });
+}
+
+BchCode::DecodeResult
+BchCode::decode(std::vector<uint8_t> &codeword) const
+{
+    C2M_ASSERT(codeword.size() == n_, "codeword must have n bits");
+    const auto syn = syndromes(codeword);
+    if (std::all_of(syn.begin(), syn.end(),
+                    [](uint32_t s) { return s == 0; }))
+        return {true, 0};
+
+    // Berlekamp-Massey: synthesize the error locator sigma(x).
+    std::vector<uint32_t> sigma = {1};
+    std::vector<uint32_t> prev = {1};
+    uint32_t b = 1;
+    unsigned L = 0;
+    unsigned shift = 1;
+
+    for (unsigned step = 0; step < 2 * t_; ++step) {
+        uint32_t delta = syn[step];
+        for (unsigned i = 1; i <= L && i < sigma.size(); ++i)
+            delta = field_.add(delta,
+                               field_.mul(sigma[i], syn[step - i]));
+        if (delta == 0) {
+            ++shift;
+            continue;
+        }
+        // sigma' = sigma + (delta/b) * x^shift * prev
+        std::vector<uint32_t> next = sigma;
+        const uint32_t coef = field_.div(delta, b);
+        if (prev.size() + shift > next.size())
+            next.resize(prev.size() + shift, 0);
+        for (size_t i = 0; i < prev.size(); ++i)
+            next[i + shift] = field_.add(
+                next[i + shift], field_.mul(coef, prev[i]));
+        if (2 * L <= step) {
+            prev = sigma;
+            b = delta;
+            L = step + 1 - L;
+            shift = 1;
+        } else {
+            ++shift;
+        }
+        sigma = std::move(next);
+    }
+
+    while (!sigma.empty() && sigma.back() == 0)
+        sigma.pop_back();
+    const unsigned deg = static_cast<unsigned>(sigma.size() - 1);
+    if (deg > t_)
+        return {false, 0};
+
+    // Chien search: error at position p iff sigma(alpha^{-p}) = 0.
+    std::vector<unsigned> positions;
+    for (unsigned p = 0; p < n_; ++p) {
+        uint32_t acc = 0;
+        for (unsigned i = 0; i < sigma.size(); ++i) {
+            acc = field_.add(
+                acc,
+                field_.mul(sigma[i],
+                           field_.alphaPow(-static_cast<int64_t>(p) *
+                                           static_cast<int64_t>(i))));
+        }
+        if (acc == 0)
+            positions.push_back(p);
+    }
+    if (positions.size() != deg)
+        return {false, 0};
+
+    for (unsigned p : positions)
+        codeword[p] ^= 1;
+    if (!check(codeword))
+        return {false, static_cast<unsigned>(positions.size())};
+    return {true, static_cast<unsigned>(positions.size())};
+}
+
+} // namespace ecc
+} // namespace c2m

@@ -1,0 +1,72 @@
+#ifndef C2M_ECC_BCH_HPP
+#define C2M_ECC_BCH_HPP
+
+/**
+ * @file
+ * Binary primitive BCH(n = 2^m - 1, k, t) codec.
+ *
+ * Systematic encoding (data followed by parity), syndrome computation
+ * S_1..S_2t, Berlekamp-Massey error-locator synthesis and Chien
+ * search. Like Hamming, BCH is linear and therefore XOR-homomorphic,
+ * so the Count2Multiply protection scheme (Sec. 6.1) works unchanged
+ * with multi-bit-correcting row ECC.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "ecc/gf2m.hpp"
+
+namespace c2m {
+namespace ecc {
+
+class BchCode
+{
+  public:
+    /**
+     * @param m Field degree; block length n = 2^m - 1.
+     * @param t Designed error-correction capability (>= 1).
+     */
+    BchCode(unsigned m, unsigned t);
+
+    unsigned n() const { return n_; }
+    unsigned k() const { return k_; }
+    unsigned t() const { return t_; }
+    unsigned parityBits() const { return n_ - k_; }
+
+    /** Parity bits (length n-k) for @p data (length k, LSB-first). */
+    std::vector<uint8_t> encodeParity(
+        const std::vector<uint8_t> &data) const;
+
+    /** Full systematic codeword: data followed by parity. */
+    std::vector<uint8_t> encode(const std::vector<uint8_t> &data) const;
+
+    struct DecodeResult
+    {
+        bool ok = false;            ///< decoding succeeded
+        unsigned corrected = 0;     ///< number of bits corrected
+    };
+
+    /** Correct up to t errors in place; codeword has length n. */
+    DecodeResult decode(std::vector<uint8_t> &codeword) const;
+
+    /** True iff all syndromes vanish. */
+    bool check(const std::vector<uint8_t> &codeword) const;
+
+    const std::vector<uint8_t> &generator() const { return gen_; }
+
+  private:
+    std::vector<uint32_t> syndromes(
+        const std::vector<uint8_t> &codeword) const;
+
+    GF2m field_;
+    unsigned n_;
+    unsigned k_;
+    unsigned t_;
+    std::vector<uint8_t> gen_; ///< generator polynomial coefficients
+};
+
+} // namespace ecc
+} // namespace c2m
+
+#endif // C2M_ECC_BCH_HPP

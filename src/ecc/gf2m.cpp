@@ -1,0 +1,120 @@
+#include "ecc/gf2m.hpp"
+
+#include "common/logging.hpp"
+
+namespace c2m {
+namespace ecc {
+
+namespace {
+
+/** Default primitive polynomials (x^m term included). */
+uint32_t
+defaultPoly(unsigned m)
+{
+    switch (m) {
+      case 2:
+        return 0x7;     // x^2+x+1
+      case 3:
+        return 0xb;     // x^3+x+1
+      case 4:
+        return 0x13;    // x^4+x+1
+      case 5:
+        return 0x25;    // x^5+x^2+1
+      case 6:
+        return 0x43;    // x^6+x+1
+      case 7:
+        return 0x89;    // x^7+x^3+1
+      case 8:
+        return 0x11d;   // x^8+x^4+x^3+x^2+1
+      case 9:
+        return 0x211;   // x^9+x^4+1
+      case 10:
+        return 0x409;   // x^10+x^3+1
+      case 11:
+        return 0x805;   // x^11+x^2+1
+      case 12:
+        return 0x1053;  // x^12+x^6+x^4+x+1
+      default:
+        C2M_FATAL("no default primitive polynomial for m=", m);
+    }
+}
+
+} // namespace
+
+GF2m::GF2m(unsigned m, uint32_t prim_poly) : m_(m)
+{
+    C2M_ASSERT(m >= 2 && m <= 16, "unsupported field degree m=", m);
+    if (prim_poly == 0)
+        prim_poly = defaultPoly(m);
+    order_ = (1u << m) - 1;
+
+    exp_.assign(2 * order_, 0);
+    log_.assign(order_ + 1, 0);
+
+    uint32_t x = 1;
+    for (uint32_t i = 0; i < order_; ++i) {
+        exp_[i] = x;
+        log_[x] = i;
+        x <<= 1;
+        if (x & (1u << m))
+            x ^= prim_poly;
+        C2M_ASSERT(x <= order_ || i + 1 == order_,
+                   "primitive polynomial is not degree-", m);
+    }
+    C2M_ASSERT(x == 1, "polynomial 0x", prim_poly,
+               " is not primitive for m=", m);
+    for (uint32_t i = 0; i < order_; ++i)
+        exp_[order_ + i] = exp_[i];
+}
+
+uint32_t
+GF2m::mul(uint32_t a, uint32_t b) const
+{
+    if (a == 0 || b == 0)
+        return 0;
+    return exp_[log_[a] + log_[b]];
+}
+
+uint32_t
+GF2m::div(uint32_t a, uint32_t b) const
+{
+    C2M_ASSERT(b != 0, "division by zero in GF(2^m)");
+    if (a == 0)
+        return 0;
+    return exp_[log_[a] + order_ - log_[b]];
+}
+
+uint32_t
+GF2m::inv(uint32_t a) const
+{
+    C2M_ASSERT(a != 0, "inverse of zero in GF(2^m)");
+    return exp_[order_ - log_[a]];
+}
+
+uint32_t
+GF2m::alphaPow(int64_t e) const
+{
+    int64_t r = e % order_;
+    if (r < 0)
+        r += order_;
+    return exp_[static_cast<uint32_t>(r)];
+}
+
+uint32_t
+GF2m::logAlpha(uint32_t a) const
+{
+    C2M_ASSERT(a != 0 && a <= order_, "log of zero/out-of-field");
+    return log_[a];
+}
+
+uint32_t
+GF2m::pow(uint32_t a, uint64_t e) const
+{
+    if (a == 0)
+        return e == 0 ? 1 : 0;
+    const uint64_t le = (static_cast<uint64_t>(log_[a]) * e) % order_;
+    return exp_[static_cast<uint32_t>(le)];
+}
+
+} // namespace ecc
+} // namespace c2m

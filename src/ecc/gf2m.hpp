@@ -1,0 +1,52 @@
+#ifndef C2M_ECC_GF2M_HPP
+#define C2M_ECC_GF2M_HPP
+
+/**
+ * @file
+ * Arithmetic over GF(2^m) with log/antilog tables, the algebraic
+ * substrate of the BCH codec (Sec. 6 lists BCH among the commercially
+ * used ECCs the scheme is compatible with).
+ */
+
+#include <cstdint>
+#include <vector>
+
+namespace c2m {
+namespace ecc {
+
+class GF2m
+{
+  public:
+    /**
+     * @param m Field degree (2 <= m <= 16).
+     * @param prim_poly Primitive polynomial with the x^m term
+     *        included, e.g. 0x89 = x^7 + x^3 + 1 for GF(2^7). Pass 0
+     *        to use a built-in default for the given m.
+     */
+    explicit GF2m(unsigned m, uint32_t prim_poly = 0);
+
+    unsigned m() const { return m_; }
+    /** Number of nonzero elements (2^m - 1), the order of alpha. */
+    uint32_t order() const { return order_; }
+
+    uint32_t add(uint32_t a, uint32_t b) const { return a ^ b; }
+    uint32_t mul(uint32_t a, uint32_t b) const;
+    uint32_t div(uint32_t a, uint32_t b) const;
+    uint32_t inv(uint32_t a) const;
+    /** alpha^e (exponent reduced modulo the group order). */
+    uint32_t alphaPow(int64_t e) const;
+    /** Discrete log base alpha (a must be nonzero). */
+    uint32_t logAlpha(uint32_t a) const;
+    uint32_t pow(uint32_t a, uint64_t e) const;
+
+  private:
+    unsigned m_;
+    uint32_t order_;
+    std::vector<uint32_t> exp_; ///< alpha^i for i in [0, 2*order)
+    std::vector<uint32_t> log_; ///< log table, log_[0] unused
+};
+
+} // namespace ecc
+} // namespace c2m
+
+#endif // C2M_ECC_GF2M_HPP

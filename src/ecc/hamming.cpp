@@ -1,0 +1,117 @@
+#include "ecc/hamming.hpp"
+
+#include <array>
+#include <bit>
+
+namespace c2m {
+namespace ecc {
+
+namespace {
+
+/**
+ * Codeword positions 1..71: powers of two hold the 7 Hamming parity
+ * bits, the remaining 64 positions hold data bits in order. Build,
+ * for each parity bit k, the mask of data-bit indices it covers.
+ */
+struct Tables
+{
+    std::array<uint64_t, 7> parityMask{};
+    std::array<uint8_t, 64> dataPos{}; ///< codeword position of data bit i
+
+    Tables()
+    {
+        unsigned data_index = 0;
+        for (unsigned pos = 1; pos <= 71 && data_index < 64; ++pos) {
+            if ((pos & (pos - 1)) == 0)
+                continue; // power of two: parity position
+            dataPos[data_index] = static_cast<uint8_t>(pos);
+            for (unsigned k = 0; k < 7; ++k)
+                if (pos & (1u << k))
+                    parityMask[k] |= 1ULL << data_index;
+            ++data_index;
+        }
+    }
+};
+
+const Tables &
+tables()
+{
+    static const Tables t;
+    return t;
+}
+
+uint8_t
+hammingBits(uint64_t data)
+{
+    const Tables &t = tables();
+    uint8_t p = 0;
+    for (unsigned k = 0; k < 7; ++k)
+        p |= static_cast<uint8_t>(
+                 std::popcount(data & t.parityMask[k]) & 1)
+             << k;
+    return p;
+}
+
+} // namespace
+
+uint8_t
+Hamming72::encode(uint64_t data)
+{
+    const uint8_t p = hammingBits(data);
+    // Overall parity over data and the 7 Hamming bits; stored as
+    // parity bit 7 so the full 72-bit word has even parity.
+    const unsigned total =
+        (std::popcount(data) + std::popcount(unsigned{p})) & 1;
+    return static_cast<uint8_t>(p | (total << 7));
+}
+
+bool
+Hamming72::check(uint64_t data, uint8_t parity)
+{
+    return encode(data) == parity;
+}
+
+Hamming72::Decoded
+Hamming72::decode(uint64_t data, uint8_t parity)
+{
+    const Tables &t = tables();
+    // Syndrome: recomputed Hamming bits vs the received ones.
+    const uint8_t syndrome7 = static_cast<uint8_t>(
+        (hammingBits(data) ^ parity) & 0x7f);
+    // Overall parity spans the received 72-bit word (data + all
+    // stored parity bits); clean words have even parity.
+    const bool overall_bad =
+        ((std::popcount(data) +
+          std::popcount(static_cast<unsigned>(parity))) &
+         1) != 0;
+
+    if (syndrome7 == 0 && !overall_bad)
+        return {Result::Clean, data, parity};
+
+    if (!overall_bad) {
+        // Nonzero syndrome with even overall parity: two errors.
+        return {Result::DoubleError, data, parity};
+    }
+
+    if (syndrome7 == 0) {
+        // Only the overall parity bit flipped.
+        return {Result::Corrected, data, encode(data)};
+    }
+
+    // Single error at codeword position syndrome7.
+    for (unsigned i = 0; i < 64; ++i) {
+        if (t.dataPos[i] == syndrome7) {
+            const uint64_t fixed = data ^ (1ULL << i);
+            return {Result::Corrected, fixed, encode(fixed)};
+        }
+    }
+    if ((syndrome7 & (syndrome7 - 1)) == 0) {
+        // Error in a stored parity bit: data is fine.
+        return {Result::Corrected, data, encode(data)};
+    }
+    // Syndrome points past the used positions: multi-bit error.
+    return {Result::DoubleError, data, parity};
+}
+
+} // namespace ecc
+} // namespace c2m

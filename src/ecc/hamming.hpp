@@ -1,0 +1,50 @@
+#ifndef C2M_ECC_HAMMING_HPP
+#define C2M_ECC_HAMMING_HPP
+
+/**
+ * @file
+ * Extended Hamming (72,64) SEC-DED code (Sec. 6).
+ *
+ * The standard row-level ECC of server DRAM: 8 parity bits per 64
+ * data bits, correcting any single bit error and detecting any double
+ * bit error. Being a linear code, the parity function is homomorphic
+ * over XOR -- parity(a ^ b) = parity(a) ^ parity(b) -- which is the
+ * property Count2Multiply exploits to check CIM results (Fig. 12).
+ */
+
+#include <cstdint>
+
+namespace c2m {
+namespace ecc {
+
+class Hamming72
+{
+  public:
+    enum class Result : uint8_t
+    {
+        Clean,       ///< no error
+        Corrected,   ///< single error corrected
+        DoubleError, ///< uncorrectable double error detected
+    };
+
+    struct Decoded
+    {
+        Result result;
+        uint64_t data;   ///< corrected data
+        uint8_t parity;  ///< corrected parity
+    };
+
+    /** 8 parity bits (7 Hamming + 1 overall) for 64 data bits. */
+    static uint8_t encode(uint64_t data);
+
+    /** Syndrome-decode and correct a (data, parity) pair. */
+    static Decoded decode(uint64_t data, uint8_t parity);
+
+    /** True iff the syndrome of (data, parity) is clean. */
+    static bool check(uint64_t data, uint8_t parity);
+};
+
+} // namespace ecc
+} // namespace c2m
+
+#endif // C2M_ECC_HAMMING_HPP

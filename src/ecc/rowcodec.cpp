@@ -1,0 +1,98 @@
+#include "ecc/rowcodec.hpp"
+
+#include "common/logging.hpp"
+#include "ecc/hamming.hpp"
+
+namespace c2m {
+namespace ecc {
+
+RowCodec::RowCodec(size_t data_bits)
+    : dataBits_(data_bits), numWords_((data_bits + 63) / 64)
+{
+    C2M_ASSERT(data_bits >= 1, "row must have data columns");
+}
+
+uint64_t
+RowCodec::dataWord(const BitVector &row, size_t w) const
+{
+    C2M_ASSERT(w < numWords_, "word index out of range");
+    C2M_ASSERT(row.size() >= totalBits(), "row lacks parity lanes");
+    // Data occupies bit positions [0, dataBits); when dataBits is a
+    // multiple of 64 this is exactly the storage word.
+    uint64_t v = 0;
+    const size_t base = w * 64;
+    for (size_t b = 0; b < 64; ++b) {
+        const size_t pos = base + b;
+        if (pos >= dataBits_)
+            break;
+        if (row.get(pos))
+            v |= 1ULL << b;
+    }
+    return v;
+}
+
+uint8_t
+RowCodec::parityOf(const BitVector &row, size_t w) const
+{
+    const size_t base = dataBits_ + w * 8;
+    uint8_t p = 0;
+    for (size_t b = 0; b < 8; ++b)
+        if (row.get(base + b))
+            p |= static_cast<uint8_t>(1u << b);
+    return p;
+}
+
+void
+RowCodec::setParity(BitVector &row, size_t w, uint8_t parity) const
+{
+    const size_t base = dataBits_ + w * 8;
+    for (size_t b = 0; b < 8; ++b)
+        row.set(base + b, (parity >> b) & 1);
+}
+
+void
+RowCodec::encodeRow(BitVector &row) const
+{
+    C2M_ASSERT(row.size() >= totalBits(), "row lacks parity lanes");
+    for (size_t w = 0; w < numWords_; ++w)
+        setParity(row, w, Hamming72::encode(dataWord(row, w)));
+}
+
+bool
+RowCodec::checkRow(const BitVector &row) const
+{
+    for (size_t w = 0; w < numWords_; ++w)
+        if (!Hamming72::check(dataWord(row, w), parityOf(row, w)))
+            return false;
+    return true;
+}
+
+RowCodec::CorrectResult
+RowCodec::correctRow(BitVector &row) const
+{
+    CorrectResult res;
+    for (size_t w = 0; w < numWords_; ++w) {
+        const uint64_t data = dataWord(row, w);
+        const uint8_t parity = parityOf(row, w);
+        const auto dec = Hamming72::decode(data, parity);
+        switch (dec.result) {
+          case Hamming72::Result::Clean:
+            break;
+          case Hamming72::Result::Corrected: {
+            ++res.corrected;
+            const size_t base = w * 64;
+            for (size_t b = 0; b < 64 && base + b < dataBits_; ++b)
+                row.set(base + b, (dec.data >> b) & 1);
+            setParity(row, w, dec.parity);
+            break;
+          }
+          case Hamming72::Result::DoubleError:
+            ++res.uncorrectable;
+            break;
+        }
+    }
+    return res;
+}
+
+} // namespace ecc
+} // namespace c2m

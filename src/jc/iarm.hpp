@@ -1,0 +1,114 @@
+#ifndef C2M_JC_IARM_HPP
+#define C2M_JC_IARM_HPP
+
+/**
+ * @file
+ * Input-Aware Rippling Minimization (IARM, Sec. 4.5.2).
+ *
+ * Each counter digit is augmented with a pending-overflow flag Onext,
+ * extending its effective range from [0, R-1] to [0, 2R-1]. Carry
+ * propagation (a "ripple": unit-increment of digit d+1 masked by
+ * Onext_d, then clearing Onext_d) can therefore be deferred.
+ *
+ * IARM is oblivious of the masks stored in memory: it maintains a
+ * host-side *virtual bound* per digit that upper-bounds the effective
+ * digit value of every real (masked) counter, and schedules a ripple
+ * exactly when the next increment could push some counter past 2R-1.
+ *
+ * Soundness note (stated in DESIGN.md): after a broadcast ripple of
+ * digit d, a real counter that was pending drops by R while one that
+ * was not pending keeps any value up to R-1, so the sound bound update
+ * is vbound[d] <- R-1 (not vbound[d] - R). With this update,
+ * real_digit <= vbound holds inductively for every mask subset, which
+ * the property tests verify.
+ */
+
+#include <cstdint>
+#include <vector>
+
+namespace c2m {
+namespace jc {
+
+/**
+ * Schedules deferred carry rippling for one group of multi-digit
+ * counters that all receive the same broadcast increments.
+ */
+class IarmScheduler
+{
+  public:
+    /**
+     * @param radix Digit radix R (= 2n for an n-bit JC digit).
+     * @param num_digits Digit count D; the top digit must never need
+     *        to ripple out (engines size counters accordingly).
+     */
+    IarmScheduler(unsigned radix, unsigned num_digits);
+
+    /**
+     * Ripples that must be broadcast before adding @p digits
+     * (LSD-first, each < R). Within a carry chain, higher digits are
+     * emitted first so the +1 they absorb always has headroom.
+     * Updates the virtual bounds as if the ripples were issued.
+     */
+    std::vector<unsigned> prepareAdd(const std::vector<unsigned> &digits);
+
+    /** Account for the broadcast k-ary increments of @p digits. */
+    void applyAdd(const std::vector<unsigned> &digits);
+
+    /**
+     * Ripples needed to clear every pending overflow (before a
+     * direction switch to decrements, Sec. 4.4). Readout does not
+     * require draining: Onext rows are readable and contribute R*R^d.
+     */
+    std::vector<unsigned> drain();
+
+    /**
+     * The "full rippling" baseline pass: one unconditional ripple of
+     * every digit boundary, highest first so every carry lands in a
+     * just-resolved digit with guaranteed headroom. Returns all
+     * boundaries D-2..0 (the memory ripples to broadcast) and updates
+     * the bounds soundly.
+     */
+    std::vector<unsigned> fullPassDescending();
+
+    unsigned radix() const { return radix_; }
+    unsigned numDigits() const { return static_cast<unsigned>(
+        bounds_.size()); }
+    const std::vector<unsigned> &bounds() const { return bounds_; }
+    uint64_t ripplesIssued() const { return ripples_; }
+
+  private:
+    /** Resolve digit @p pos (bound >= R), chaining upward if needed. */
+    void resolveChain(unsigned pos, std::vector<unsigned> &out);
+
+    unsigned radix_;
+    std::vector<unsigned> bounds_;
+    uint64_t ripples_ = 0;
+};
+
+/**
+ * Baseline scheduler without IARM ("k-ary only", Fig. 8b): one full
+ * ascending ripple pass after every input, making the per-input cost
+ * capacity-dependent.
+ */
+class FullRippleScheduler
+{
+  public:
+    FullRippleScheduler(unsigned radix, unsigned num_digits);
+
+    /** No deferred state: nothing to do before an add. */
+    std::vector<unsigned> prepareAdd(const std::vector<unsigned> &digits);
+
+    /** Ripple pass to broadcast after the input's digit increments. */
+    std::vector<unsigned> afterAdd();
+
+    uint64_t ripplesIssued() const { return ripples_; }
+
+  private:
+    unsigned numDigits_;
+    uint64_t ripples_ = 0;
+};
+
+} // namespace jc
+} // namespace c2m
+
+#endif // C2M_JC_IARM_HPP

@@ -1,0 +1,173 @@
+#include "jc/johnson.hpp"
+
+#include <bit>
+
+#include "common/logging.hpp"
+
+namespace c2m {
+namespace jc {
+
+namespace {
+
+uint64_t
+stateMask(unsigned n)
+{
+    return n >= 64 ? ~0ULL : (1ULL << n) - 1;
+}
+
+void
+checkN(unsigned n)
+{
+    C2M_ASSERT(n >= 1 && n <= kMaxBits, "unsupported JC width n=", n);
+}
+
+} // namespace
+
+unsigned
+bitsForRadix(unsigned radix)
+{
+    if (radix < 2 || radix % 2 != 0)
+        C2M_FATAL("Johnson-counter radix must be even and >= 2, got ",
+                  radix);
+    return radix / 2;
+}
+
+uint64_t
+encode(unsigned n, unsigned v)
+{
+    checkN(n);
+    C2M_ASSERT(v < 2 * n, "JC value ", v, " out of range for n=", n);
+    uint64_t bits = 0;
+    for (unsigned i = 0; i < n; ++i)
+        if (i < v && v <= i + n)
+            bits |= 1ULL << i;
+    return bits;
+}
+
+int
+decode(unsigned n, uint64_t bits)
+{
+    checkN(n);
+    if ((bits & ~stateMask(n)) != 0)
+        return -1;
+    const unsigned count =
+        static_cast<unsigned>(std::popcount(bits));
+    if (count == 0)
+        return 0;
+    unsigned v;
+    if (bits & 1) {
+        // Low run of ones: value = run length.
+        v = count;
+    } else {
+        // High run of ones: value = 2n - run length.
+        v = 2 * n - count;
+    }
+    return bits == encode(n, v) ? static_cast<int>(v) : -1;
+}
+
+bool
+isValidState(unsigned n, uint64_t bits)
+{
+    return decode(n, bits) >= 0;
+}
+
+unsigned
+decodeNearest(unsigned n, uint64_t bits)
+{
+    checkN(n);
+    unsigned best_v = 0;
+    int best_dist = 1 << 30;
+    for (unsigned v = 0; v < 2 * n; ++v) {
+        const int dist = std::popcount(bits ^ encode(n, v));
+        if (dist < best_dist) {
+            best_dist = dist;
+            best_v = v;
+        }
+    }
+    return best_v;
+}
+
+unsigned
+add(unsigned n, unsigned v, unsigned k)
+{
+    return (v + k) % (2 * n);
+}
+
+bool
+wraps(unsigned n, unsigned v, unsigned k)
+{
+    return v + k >= 2 * n;
+}
+
+bool
+borrows(unsigned n, unsigned v, unsigned k)
+{
+    (void)n;
+    return v < k;
+}
+
+uint64_t
+shiftAdd(unsigned n, uint64_t bits, unsigned k)
+{
+    checkN(n);
+    C2M_ASSERT(k < 2 * n, "shiftAdd step ", k, " out of range for n=", n);
+    if (k == 0)
+        return bits;
+
+    // Adding n complements every bit; reduce to a shift by k' < n with
+    // an optional global inversion.
+    bool invert_all = false;
+    unsigned kk = k;
+    if (kk > n) {
+        invert_all = true;
+        kk -= n;
+    } else if (kk == n) {
+        return ~bits & stateMask(n);
+    }
+
+    uint64_t out = 0;
+    for (unsigned i = 0; i < n; ++i) {
+        bool b;
+        if (i >= kk) {
+            b = (bits >> (i - kk)) & 1;          // forward shift
+        } else {
+            b = !((bits >> (n - kk + i)) & 1);   // inverted feedback
+        }
+        if (invert_all)
+            b = !b;
+        if (b)
+            out |= 1ULL << i;
+    }
+    return out;
+}
+
+uint64_t
+shiftSub(unsigned n, uint64_t bits, unsigned k)
+{
+    checkN(n);
+    C2M_ASSERT(k < 2 * n, "shiftSub step ", k, " out of range for n=", n);
+    if (k == 0)
+        return bits;
+    return shiftAdd(n, bits, 2 * n - k);
+}
+
+bool
+wrapFromMsb(unsigned n, unsigned k, bool msb_old, bool msb_new)
+{
+    C2M_ASSERT(k >= 1 && k < 2 * n, "wrapFromMsb step out of range");
+    if (k <= n)
+        return msb_old && !msb_new;
+    return msb_old || !msb_new;
+}
+
+bool
+borrowFromMsb(unsigned n, unsigned k, bool msb_old, bool msb_new)
+{
+    C2M_ASSERT(k >= 1 && k < 2 * n, "borrowFromMsb step out of range");
+    // Decrement by k is increment by 2n - k; a borrow occurs exactly
+    // when that increment does NOT wrap.
+    return !wrapFromMsb(n, 2 * n - k, msb_old, msb_new);
+}
+
+} // namespace jc
+} // namespace c2m

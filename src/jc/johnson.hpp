@@ -1,0 +1,103 @@
+#ifndef C2M_JC_JOHNSON_HPP
+#define C2M_JC_JOHNSON_HPP
+
+/**
+ * @file
+ * Golden (host-side) model of Johnson counters (twisted ring counters).
+ *
+ * An n-bit Johnson counter cycles through 2n states; we identify state
+ * with the value v in [0, 2n). The encoding (LSB-first, paper Sec. 2.4)
+ * sets bit i exactly when i < v <= i + n:
+ *
+ *   n=5:  0 -> 00000, 1 -> 10000, 2 -> 11000, ..., 5 -> 11111,
+ *         6 -> 01111, ..., 9 -> 00001, then wraps to 0.
+ *
+ * Incrementing by k is a cyclic shift toward the MSB with inverted
+ * feedback; adding n complements every bit. These shift rules are what
+ * the in-memory muPrograms implement (Sec. 4.5.1, Alg. 1); this module
+ * is the reference they are verified against.
+ *
+ * Bits are packed LSB-first into a uint64_t, so n <= 32 (radix <= 64),
+ * far beyond the paper's radix range of 2..20.
+ */
+
+#include <cstdint>
+
+namespace c2m {
+namespace jc {
+
+/** Maximum supported bits per digit. */
+constexpr unsigned kMaxBits = 32;
+
+/** Number of states of an n-bit Johnson counter (its radix). */
+constexpr unsigned
+radixOf(unsigned n)
+{
+    return 2 * n;
+}
+
+/** Bits per digit for an even radix R (R = 2n). */
+unsigned bitsForRadix(unsigned radix);
+
+/** Encode value v in [0, 2n) as the n-bit JC state. */
+uint64_t encode(unsigned n, unsigned v);
+
+/**
+ * Decode an n-bit JC state.
+ *
+ * @return the value in [0, 2n), or -1 if the bit pattern is not a
+ *         valid Johnson state (e.g. after an uncorrected fault).
+ */
+int decode(unsigned n, uint64_t bits);
+
+/** True iff @p bits is one of the 2n valid states. */
+bool isValidState(unsigned n, uint64_t bits);
+
+/**
+ * Nearest-state decode for faulted patterns: returns the valid state
+ * with minimum Hamming distance to @p bits (ties broken toward the
+ * smaller value). Used when reading out unprotected faulty counters.
+ */
+unsigned decodeNearest(unsigned n, uint64_t bits);
+
+/** (v + k) mod 2n. */
+unsigned add(unsigned n, unsigned v, unsigned k);
+
+/** True iff incrementing v by k wraps past 2n - 1. */
+bool wraps(unsigned n, unsigned v, unsigned k);
+
+/** True iff decrementing v by k borrows below 0. */
+bool borrows(unsigned n, unsigned v, unsigned k);
+
+/**
+ * Apply the k-ary shift rules of Alg. 1 directly on a state pattern.
+ *
+ * For k <= n:   b'[i] = b[i-k]        (i >= k, forward shift)
+ *               b'[i] = ~b[n-k+i]     (i <  k, inverted feedback)
+ * For k >  n:   equivalent to complementing all bits (add n) and then
+ *               shifting by k - n, which swaps the roles above.
+ *
+ * Works on any pattern (valid state or not); on valid states it equals
+ * encode(n, add(n, decode(bits), k)).
+ */
+uint64_t shiftAdd(unsigned n, uint64_t bits, unsigned k);
+
+/** Decrement counterpart of shiftAdd (backward shift). */
+uint64_t shiftSub(unsigned n, uint64_t bits, unsigned k);
+
+/**
+ * Overflow predicate computable from the MSB before/after a k-ary
+ * increment (Alg. 1 lines 6 and 13).
+ *
+ *   k <= n:  wrap <=>  msb_old AND NOT msb_new
+ *   k >  n:  wrap <=>  msb_old OR  NOT msb_new
+ */
+bool wrapFromMsb(unsigned n, unsigned k, bool msb_old, bool msb_new);
+
+/** Underflow predicate for a k-ary decrement (mirror of wrapFromMsb). */
+bool borrowFromMsb(unsigned n, unsigned k, bool msb_old, bool msb_new);
+
+} // namespace jc
+} // namespace c2m
+
+#endif // C2M_JC_JOHNSON_HPP

@@ -1,0 +1,85 @@
+#include "jc/layout.hpp"
+
+#include "common/logging.hpp"
+
+namespace c2m {
+namespace jc {
+
+CounterLayout::CounterLayout(unsigned radix, unsigned capacity_bits,
+                             unsigned base_row)
+    : radix_(radix),
+      bits_(bitsForRadix(radix)),
+      digits_(digitsForCapacityBits(radix, capacity_bits) + 1),
+      capacityBits_(capacity_bits),
+      baseRow_(base_row)
+{
+}
+
+unsigned
+CounterLayout::bitRow(unsigned d, unsigned i) const
+{
+    C2M_ASSERT(d < digits_ && i < bits_, "bitRow(", d, ",", i,
+               ") out of layout");
+    return baseRow_ + d * (bits_ + 1) + i;
+}
+
+unsigned
+CounterLayout::onextRow(unsigned d) const
+{
+    C2M_ASSERT(d < digits_, "onextRow(", d, ") out of layout");
+    return baseRow_ + d * (bits_ + 1) + bits_;
+}
+
+unsigned
+CounterLayout::osignRow() const
+{
+    return baseRow_ + digits_ * (bits_ + 1);
+}
+
+unsigned
+CounterLayout::thetaRow(unsigned j) const
+{
+    C2M_ASSERT(j < bits_, "thetaRow(", j, ") out of layout");
+    return osignRow() + 1 + j;
+}
+
+unsigned
+CounterLayout::ir1Row() const
+{
+    return osignRow() + 1 + bits_;
+}
+
+unsigned
+CounterLayout::ir2Row() const
+{
+    return ir1Row() + 1;
+}
+
+unsigned
+CounterLayout::frRow() const
+{
+    return ir1Row() + 2;
+}
+
+unsigned
+CounterLayout::t2Row() const
+{
+    return ir1Row() + 3;
+}
+
+unsigned
+CounterLayout::scratchRow(unsigned j) const
+{
+    C2M_ASSERT(j < numScratchRows(), "scratchRow(", j, ") out of layout");
+    return ir1Row() + 4 + j;
+}
+
+unsigned
+CounterLayout::totalRows() const
+{
+    // digits * (bits + Onext) + Osign + theta + IR1/IR2/FR/T2 + scratch.
+    return digits_ * (bits_ + 1) + 1 + bits_ + 4 + numScratchRows();
+}
+
+} // namespace jc
+} // namespace c2m

@@ -1,0 +1,54 @@
+#include "uprog/microop.hpp"
+
+namespace c2m {
+namespace uprog {
+
+void
+CheckedProgram::appendUnchecked(const cim::AmbitProgram &prog)
+{
+    if (prog.empty())
+        return;
+    if (!blocks.empty() && blocks.back().checks.empty()) {
+        blocks.back().prog.append(prog);
+        return;
+    }
+    blocks.push_back(Block{prog, {}});
+}
+
+void
+CheckedProgram::appendBlock(Block block)
+{
+    blocks.push_back(std::move(block));
+}
+
+void
+CheckedProgram::append(const CheckedProgram &other)
+{
+    for (const auto &b : other.blocks) {
+        if (b.checks.empty())
+            appendUnchecked(b.prog);
+        else
+            blocks.push_back(b);
+    }
+}
+
+size_t
+CheckedProgram::totalOps() const
+{
+    size_t n = 0;
+    for (const auto &b : blocks)
+        n += b.prog.size();
+    return n;
+}
+
+size_t
+CheckedProgram::totalChecks() const
+{
+    size_t n = 0;
+    for (const auto &b : blocks)
+        n += b.checks.size();
+    return n;
+}
+
+} // namespace uprog
+} // namespace c2m

@@ -1,0 +1,181 @@
+#include "uprog/mig.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace c2m {
+namespace uprog {
+
+Mig::Mig()
+{
+    nodes_.push_back(Node{Node::Kind::Const0, 0, {}});
+}
+
+MigEdge
+Mig::addInput(const std::string &name)
+{
+    Node n;
+    n.kind = Node::Kind::Input;
+    n.inputIndex = static_cast<uint32_t>(inputs_.size());
+    inputs_.push_back(name);
+    nodes_.push_back(n);
+    return {static_cast<uint32_t>(nodes_.size() - 1), false};
+}
+
+MigEdge
+Mig::canonicalize(MigEdge a, MigEdge b, MigEdge c)
+{
+    // Sort children for structural hashing (node id, then polarity).
+    MigEdge e[3] = {a, b, c};
+    std::sort(e, e + 3, [](const MigEdge &x, const MigEdge &y) {
+        return x.node != y.node ? x.node < y.node : x.neg < y.neg;
+    });
+
+    // Reuse an existing node with identical children.
+    for (uint32_t id = 0; id < nodes_.size(); ++id) {
+        const Node &n = nodes_[id];
+        if (n.kind != Node::Kind::Maj)
+            continue;
+        if (n.child[0] == e[0] && n.child[1] == e[1] &&
+            n.child[2] == e[2])
+            return {id, false};
+    }
+
+    Node n;
+    n.kind = Node::Kind::Maj;
+    n.child[0] = e[0];
+    n.child[1] = e[1];
+    n.child[2] = e[2];
+    nodes_.push_back(n);
+    return {static_cast<uint32_t>(nodes_.size() - 1), false};
+}
+
+MigEdge
+Mig::makeMaj(MigEdge a, MigEdge b, MigEdge c)
+{
+    auto is_const = [](const MigEdge &e) { return e.node == 0; };
+    auto const_val = [](const MigEdge &e) { return e.neg; };
+
+    // Omega.M: M(x, x, y) = x; Omega.C: M(x, !x, y) = y.
+    if (a == b)
+        return a;
+    if (a == c)
+        return a;
+    if (b == c)
+        return b;
+    if (a.node == b.node && a.neg != b.neg)
+        return c;
+    if (a.node == c.node && a.neg != c.neg)
+        return b;
+    if (b.node == c.node && b.neg != c.neg)
+        return a;
+
+    // Two constant inputs fold.
+    const int consts = int(is_const(a)) + int(is_const(b)) +
+                       int(is_const(c));
+    if (consts >= 2) {
+        // With a==b etc. handled above, two constants must differ,
+        // so the result is the remaining operand.
+        if (is_const(a) && is_const(b))
+            return const_val(a) == const_val(b)
+                       ? (const_val(a) ? MigEdge{0, true}
+                                       : MigEdge{0, false})
+                       : c;
+        if (is_const(a) && is_const(c))
+            return const_val(a) == const_val(c)
+                       ? (const_val(a) ? MigEdge{0, true}
+                                       : MigEdge{0, false})
+                       : b;
+        return const_val(b) == const_val(c)
+                   ? (const_val(b) ? MigEdge{0, true}
+                                   : MigEdge{0, false})
+                   : a;
+    }
+
+    return canonicalize(a, b, c);
+}
+
+MigEdge
+Mig::makeAnd(MigEdge a, MigEdge b)
+{
+    return makeMaj(a, b, constZero());
+}
+
+MigEdge
+Mig::makeOr(MigEdge a, MigEdge b)
+{
+    return makeMaj(a, b, constOne());
+}
+
+MigEdge
+Mig::makeXor(MigEdge a, MigEdge b)
+{
+    // Fig. 12a: XOR = (a OR b) AND NOT(a AND b).
+    MigEdge ir1 = makeOr(a, b);
+    MigEdge ir2 = makeAnd(a, b);
+    return makeAnd(ir1, invert(ir2));
+}
+
+size_t
+Mig::numMajNodes() const
+{
+    size_t n = 0;
+    for (const auto &node : nodes_)
+        if (node.kind == Node::Kind::Maj)
+            ++n;
+    return n;
+}
+
+bool
+Mig::evaluate(MigEdge root, const std::vector<bool> &inputs) const
+{
+    C2M_ASSERT(inputs.size() == inputs_.size(),
+               "input vector size mismatch");
+    // Iterative evaluation over the DAG with memoization.
+    std::vector<int8_t> memo(nodes_.size(), -1);
+    // Nodes are created in topological order (children before
+    // parents), so a single forward pass suffices.
+    for (uint32_t id = 0; id < nodes_.size(); ++id) {
+        const Node &n = nodes_[id];
+        switch (n.kind) {
+          case Node::Kind::Const0:
+            memo[id] = 0;
+            break;
+          case Node::Kind::Input:
+            memo[id] = inputs[n.inputIndex] ? 1 : 0;
+            break;
+          case Node::Kind::Maj: {
+            int votes = 0;
+            for (const auto &e : n.child) {
+                bool v = memo[e.node] != 0;
+                if (e.neg)
+                    v = !v;
+                votes += v ? 1 : 0;
+            }
+            memo[id] = votes >= 2 ? 1 : 0;
+            break;
+          }
+        }
+    }
+    bool v = memo[root.node] != 0;
+    return root.neg ? !v : v;
+}
+
+std::vector<bool>
+Mig::truthTable(MigEdge root) const
+{
+    C2M_ASSERT(inputs_.size() <= 20, "too many inputs for truth table");
+    const size_t rows = size_t{1} << inputs_.size();
+    std::vector<bool> table(rows);
+    std::vector<bool> assignment(inputs_.size());
+    for (size_t r = 0; r < rows; ++r) {
+        for (size_t i = 0; i < inputs_.size(); ++i)
+            assignment[i] = (r >> i) & 1;
+        table[r] = evaluate(root, assignment);
+    }
+    return table;
+}
+
+} // namespace uprog
+} // namespace c2m

@@ -1,0 +1,98 @@
+#ifndef C2M_UPROG_MIG_HPP
+#define C2M_UPROG_MIG_HPP
+
+/**
+ * @file
+ * Majority-inverter graphs (Sec. 4.2, Fig. 6a / Fig. 12a).
+ *
+ * The in-memory circuits of Count2Multiply are synthesized as MIGs:
+ * DAGs whose only gate is the three-input majority with optional
+ * complemented edges. This module provides construction, evaluation,
+ * structural hashing, and the classic Omega-rule simplifications
+ * (majority, complementary-majority, and constant folding) used to
+ * minimize the number of TRA operations; tests verify that the
+ * muProgram generators implement exactly the functions of the Fig. 6a
+ * forward-shift / inverted-feedback / overflow MIGs.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace c2m {
+namespace uprog {
+
+/** Edge into a MIG node: target node id plus complement flag. */
+struct MigEdge
+{
+    uint32_t node = 0;
+    bool neg = false;
+
+    bool operator==(const MigEdge &o) const
+    {
+        return node == o.node && neg == o.neg;
+    }
+};
+
+class Mig
+{
+  public:
+    Mig();
+
+    /** The constant-zero node (id 0). Use negation for one. */
+    MigEdge constZero() const { return {0, false}; }
+    MigEdge constOne() const { return {0, true}; }
+
+    /** Create a primary input; returns its edge. */
+    MigEdge addInput(const std::string &name);
+
+    /**
+     * Create (or reuse, via structural hashing) a majority node after
+     * applying the Omega simplification rules:
+     *   M(x, x, y) = x           (majority)
+     *   M(x, !x, y) = y          (complementary)
+     *   M(0, x, y) = x AND y, M(1, x, y) = x OR y are kept as nodes
+     *   (they are the gates Ambit executes) but constants propagate
+     *   when two inputs are constant.
+     */
+    MigEdge makeMaj(MigEdge a, MigEdge b, MigEdge c);
+
+    /** Convenience gates built on makeMaj. */
+    MigEdge makeAnd(MigEdge a, MigEdge b);
+    MigEdge makeOr(MigEdge a, MigEdge b);
+    MigEdge makeXor(MigEdge a, MigEdge b);
+    static MigEdge invert(MigEdge e) { return {e.node, !e.neg}; }
+
+    /** Number of majority nodes (TRA cost proxy). */
+    size_t numMajNodes() const;
+
+    size_t numInputs() const { return inputs_.size(); }
+
+    /** Evaluate @p root for one assignment of input values. */
+    bool evaluate(MigEdge root, const std::vector<bool> &inputs) const;
+
+    /**
+     * Truth table of @p root over all input assignments (inputs
+     * ordered by creation; at most 20 inputs).
+     */
+    std::vector<bool> truthTable(MigEdge root) const;
+
+  private:
+    struct Node
+    {
+        enum class Kind : uint8_t { Const0, Input, Maj };
+        Kind kind;
+        uint32_t inputIndex = 0; ///< for Input
+        MigEdge child[3];        ///< for Maj
+    };
+
+    MigEdge canonicalize(MigEdge a, MigEdge b, MigEdge c);
+
+    std::vector<Node> nodes_;
+    std::vector<std::string> inputs_;
+};
+
+} // namespace uprog
+} // namespace c2m
+
+#endif // C2M_UPROG_MIG_HPP

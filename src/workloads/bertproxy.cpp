@@ -1,0 +1,156 @@
+#include "workloads/bertproxy.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+
+namespace c2m {
+namespace workloads {
+
+BertProxy::BertProxy(const BertProxyConfig &cfg) : cfg_(cfg)
+{
+    C2M_ASSERT(cfg.layers >= 1 && cfg.classes >= 2, "bad config");
+    Rng rng(cfg.seed);
+
+    auto make_layer = [&](unsigned rows, unsigned cols) {
+        std::vector<std::vector<int8_t>> w(
+            rows, std::vector<int8_t>(cols, 0));
+        for (auto &row : w)
+            for (auto &v : row)
+                if (rng.nextBool(cfg.weightDensity))
+                    v = rng.nextBool(0.5) ? 1 : -1;
+        return w;
+    };
+
+    for (unsigned l = 0; l + 1 < cfg.layers; ++l)
+        weights_.push_back(make_layer(cfg.features, cfg.features));
+    weights_.push_back(make_layer(cfg.features, cfg.classes));
+
+    inputs_.resize(cfg.samples);
+    for (auto &x : inputs_) {
+        x.resize(cfg.features);
+        for (auto &v : x) {
+            const double g = rng.nextGaussian() * 32.0;
+            v = static_cast<int64_t>(
+                std::clamp(g, -127.0, 127.0));
+        }
+    }
+
+    // Labels: the clean prediction with probability cleanAccuracy,
+    // otherwise a different class (models the network's own error).
+    labels_.resize(cfg.samples);
+    for (size_t s = 0; s < cfg.samples; ++s) {
+        const auto logits = forwardClean(s);
+        const unsigned pred = static_cast<unsigned>(
+            std::max_element(logits.begin(), logits.end()) -
+            logits.begin());
+        if (rng.nextBool(cfg.cleanAccuracy)) {
+            labels_[s] = pred;
+        } else {
+            labels_[s] =
+                (pred + 1 +
+                 static_cast<unsigned>(
+                     rng.nextBounded(cfg.classes - 1))) %
+                cfg.classes;
+        }
+    }
+}
+
+Histogram
+BertProxy::embeddingHistogram() const
+{
+    Histogram h(-128, 127);
+    for (const auto &x : inputs_)
+        for (int64_t v : x)
+            h.add(v);
+    return h;
+}
+
+std::vector<int64_t>
+BertProxy::forward(size_t sample, const GemvFn &gemv) const
+{
+    std::vector<int64_t> x = inputs_[sample];
+    for (unsigned l = 0; l < weights_.size(); ++l) {
+        std::vector<int64_t> y = gemv(x, weights_[l]);
+        if (l + 1 == weights_.size())
+            return y;
+        // ReLU + int8 requantization between layers.
+        for (auto &v : y) {
+            v = std::max<int64_t>(v, 0);
+            v = std::min<int64_t>(v >> 5, 127);
+        }
+        x = std::move(y);
+    }
+    return x;
+}
+
+std::vector<int64_t>
+BertProxy::forwardClean(size_t sample) const
+{
+    return forward(sample, [](const std::vector<int64_t> &x,
+                              const std::vector<std::vector<int8_t>>
+                                  &W) {
+        std::vector<int64_t> y(W[0].size(), 0);
+        for (size_t i = 0; i < x.size(); ++i)
+            for (size_t j = 0; j < y.size(); ++j)
+                y[j] += x[i] * W[i][j];
+        return y;
+    });
+}
+
+double
+BertProxy::accuracy(const GemvFn &gemv) const
+{
+    size_t correct = 0;
+    for (size_t s = 0; s < inputs_.size(); ++s) {
+        const auto logits = forward(s, gemv);
+        const unsigned pred = static_cast<unsigned>(
+            std::max_element(logits.begin(), logits.end()) -
+            logits.begin());
+        if (pred == labels_[s])
+            ++correct;
+    }
+    return static_cast<double>(correct) /
+           static_cast<double>(inputs_.size());
+}
+
+double
+BertProxy::cleanAccuracy() const
+{
+    return accuracy([](const std::vector<int64_t> &x,
+                       const std::vector<std::vector<int8_t>> &W) {
+        std::vector<int64_t> y(W[0].size(), 0);
+        for (size_t i = 0; i < x.size(); ++i)
+            for (size_t j = 0; j < y.size(); ++j)
+                y[j] += x[i] * W[i][j];
+        return y;
+    });
+}
+
+std::vector<core::TensorWorkload>
+BertProxy::attentionWorkloads()
+{
+    // BERT-base attention block, sequence length 128, hidden 768,
+    // 12 heads of 64; head-level GEMMs folded into M.
+    auto mk = [](size_t M, size_t N, size_t K) {
+        core::TensorWorkload w;
+        w.M = M;
+        w.N = N;
+        w.K = K;
+        w.xBits = 8;
+        w.ternary = true;
+        return w;
+    };
+    return {
+        mk(128, 2304, 768),  // fused QKV projection
+        mk(1536, 128, 64),   // attention scores (12 heads x 128)
+        mk(1536, 64, 128),   // context (12 heads)
+        mk(128, 768, 768),   // output projection
+        mk(128, 3072, 768),  // FFN up
+        mk(128, 768, 3072),  // FFN down
+    };
+}
+
+} // namespace workloads
+} // namespace c2m

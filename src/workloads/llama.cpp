@@ -1,0 +1,40 @@
+#include "workloads/llama.hpp"
+
+namespace c2m {
+namespace workloads {
+
+std::vector<LlamaShape>
+llamaGemvShapes()
+{
+    return {
+        {"V0", "LLaMA", 1, 22016, 8192},
+        {"V1", "LLaMA", 1, 8192, 22016},
+        {"V2", "LLaMA-2", 1, 8192, 8192},
+        {"V3", "LLaMA-2", 1, 28672, 8192},
+        {"V4", "LLaMA-2", 1, 8192, 28672},
+    };
+}
+
+std::vector<LlamaShape>
+llamaGemmShapes()
+{
+    return {
+        {"M0", "LLaMA", 8192, 22016, 8192},
+        {"M1", "LLaMA", 8192, 8192, 22016},
+        {"M2", "LLaMA-2", 8192, 8192, 8192},
+        {"M3", "LLaMA-2", 8192, 28672, 8192},
+        {"M4", "LLaMA-2", 8192, 8192, 28672},
+    };
+}
+
+std::vector<LlamaShape>
+llamaAllShapes()
+{
+    auto all = llamaGemvShapes();
+    for (auto &s : llamaGemmShapes())
+        all.push_back(s);
+    return all;
+}
+
+} // namespace workloads
+} // namespace c2m

@@ -1,0 +1,39 @@
+#ifndef C2M_WORKLOADS_LLAMA_HPP
+#define C2M_WORKLOADS_LLAMA_HPP
+
+/**
+ * @file
+ * GEMV/GEMM shapes from LLaMA and LLaMA-2 (Tab. 3): the key
+ * computational loads of the models, used as proxies across the
+ * evaluation (Figs. 14-16).
+ */
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace c2m {
+namespace workloads {
+
+struct LlamaShape
+{
+    std::string id;    ///< V0..V4 (GEMV), M0..M4 (GEMM)
+    std::string model; ///< LLaMA / LLaMA-2
+    size_t M;
+    size_t N;
+    size_t K;
+};
+
+/** The five GEMV shapes V0..V4 of Tab. 3. */
+std::vector<LlamaShape> llamaGemvShapes();
+
+/** The five GEMM shapes M0..M4 of Tab. 3. */
+std::vector<LlamaShape> llamaGemmShapes();
+
+/** All ten shapes in paper order (V0..V4, M0..M4). */
+std::vector<LlamaShape> llamaAllShapes();
+
+} // namespace workloads
+} // namespace c2m
+
+#endif // C2M_WORKLOADS_LLAMA_HPP

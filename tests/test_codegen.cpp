@@ -1,0 +1,365 @@
+/**
+ * @file
+ * Bit-exact equivalence of the generated Ambit muPrograms against the
+ * golden Johnson-counter model: masked k-ary increments/decrements
+ * with overflow/underflow detection (Alg. 1, Fig. 6b), carry/borrow
+ * rippling, and the generic row-logic emitters -- swept over the
+ * paper's radix range and every k.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cim/ambit.hpp"
+#include "jc/johnson.hpp"
+#include "jc/layout.hpp"
+#include "uprog/codegen_ambit.hpp"
+
+using namespace c2m;
+
+namespace {
+
+struct Harness
+{
+    jc::CounterLayout layout;
+    unsigned maskRow;
+    cim::AmbitSubarray sub;
+    uprog::AmbitCodegen gen;
+
+    Harness(unsigned radix, unsigned capacity_bits, size_t cols,
+            uprog::CodegenOptions opts = {})
+        : layout(radix, capacity_bits, 0),
+          maskRow(layout.endRow()),
+          sub(layout.endRow() + 4, cols),
+          gen(layout, opts)
+    {
+    }
+
+    unsigned n() const { return layout.bitsPerDigit(); }
+
+    void
+    setDigit(unsigned digit, size_t col, unsigned value)
+    {
+        const uint64_t bits = jc::encode(n(), value);
+        for (unsigned i = 0; i < n(); ++i)
+            sub.rawRow(layout.bitRow(digit, i))
+                .set(col, (bits >> i) & 1);
+    }
+
+    int
+    getDigit(unsigned digit, size_t col)
+    {
+        uint64_t bits = 0;
+        for (unsigned i = 0; i < n(); ++i)
+            if (sub.peekRow(layout.bitRow(digit, i)).get(col))
+                bits |= 1ULL << i;
+        return jc::decode(n(), bits);
+    }
+
+    void
+    setMask(size_t col, bool v)
+    {
+        sub.rawRow(maskRow).set(col, v);
+    }
+
+    bool
+    onext(unsigned digit, size_t col)
+    {
+        return sub.peekRow(layout.onextRow(digit)).get(col);
+    }
+
+    void
+    run(const uprog::CheckedProgram &prog)
+    {
+        for (const auto &b : prog.blocks)
+            sub.run(b.prog);
+    }
+};
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Generic row logic
+// ---------------------------------------------------------------------
+
+TEST(RowLogic, CopyNotAndOrAndNot)
+{
+    cim::AmbitSubarray sub(6, 8);
+    sub.rawRow(0) = BitVector::fromString("11001010");
+    sub.rawRow(1) = BitVector::fromString("10100110");
+
+    cim::AmbitProgram p;
+    uprog::AmbitCodegen::emitCopy(p, 0, 2);
+    uprog::AmbitCodegen::emitNot(p, 0, 3);
+    uprog::AmbitCodegen::emitOr(p, 0, 1, 4);
+    uprog::AmbitCodegen::emitAnd(p, 0, 1, 5);
+    sub.run(p);
+
+    EXPECT_EQ(sub.peekRow(2).toString(), "11001010");
+    EXPECT_EQ(sub.peekRow(3).toString(), "00110101");
+    EXPECT_EQ(sub.peekRow(4).toString(), "11101110");
+    EXPECT_EQ(sub.peekRow(5).toString(), "10000010");
+
+    cim::AmbitProgram q;
+    uprog::AmbitCodegen::emitAndNot(q, 0, 1, 2);
+    sub.run(q);
+    EXPECT_EQ(sub.peekRow(2).toString(), "01001000");
+}
+
+// ---------------------------------------------------------------------
+// Parameterized sweep: (radix, k) for increments
+// ---------------------------------------------------------------------
+
+class KaryIncrement
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>>
+{
+};
+
+TEST_P(KaryIncrement, MatchesGoldenModelUnderMask)
+{
+    const unsigned radix = std::get<0>(GetParam());
+    const unsigned k = std::get<1>(GetParam());
+    const unsigned n = radix / 2;
+    if (k >= radix)
+        GTEST_SKIP() << "k out of range for this radix";
+
+    // Columns: one per (value, masked) combination.
+    const size_t cols = 2 * radix;
+    Harness h(radix, 16, cols);
+    for (unsigned v = 0; v < radix; ++v) {
+        h.setDigit(0, 2 * v, v);
+        h.setMask(2 * v, true);
+        h.setDigit(0, 2 * v + 1, v);
+        h.setMask(2 * v + 1, false);
+    }
+
+    h.run(h.gen.karyIncrement(0, k, h.maskRow));
+
+    for (unsigned v = 0; v < radix; ++v) {
+        // Masked-in column: incremented, wrap recorded in Onext.
+        EXPECT_EQ(h.getDigit(0, 2 * v),
+                  static_cast<int>(jc::add(n, v, k)))
+            << "radix=" << radix << " k=" << k << " v=" << v;
+        EXPECT_EQ(h.onext(0, 2 * v), jc::wraps(n, v, k))
+            << "radix=" << radix << " k=" << k << " v=" << v;
+        // Masked-out column: untouched.
+        EXPECT_EQ(h.getDigit(0, 2 * v + 1), static_cast<int>(v))
+            << "radix=" << radix << " k=" << k << " v=" << v;
+        EXPECT_FALSE(h.onext(0, 2 * v + 1))
+            << "radix=" << radix << " k=" << k << " v=" << v;
+    }
+}
+
+TEST_P(KaryIncrement, DecrementMatchesGoldenModelUnderMask)
+{
+    const unsigned radix = std::get<0>(GetParam());
+    const unsigned k = std::get<1>(GetParam());
+    const unsigned n = radix / 2;
+    if (k >= radix)
+        GTEST_SKIP() << "k out of range for this radix";
+
+    const size_t cols = 2 * radix;
+    Harness h(radix, 16, cols);
+    for (unsigned v = 0; v < radix; ++v) {
+        h.setDigit(0, 2 * v, v);
+        h.setMask(2 * v, true);
+        h.setDigit(0, 2 * v + 1, v);
+        h.setMask(2 * v + 1, false);
+    }
+
+    h.run(h.gen.karyDecrement(0, k, h.maskRow));
+
+    for (unsigned v = 0; v < radix; ++v) {
+        const unsigned want = (v + radix - k) % radix;
+        EXPECT_EQ(h.getDigit(0, 2 * v), static_cast<int>(want))
+            << "radix=" << radix << " k=" << k << " v=" << v;
+        EXPECT_EQ(h.onext(0, 2 * v), jc::borrows(n, v, k))
+            << "radix=" << radix << " k=" << k << " v=" << v;
+        EXPECT_EQ(h.getDigit(0, 2 * v + 1), static_cast<int>(v));
+        EXPECT_FALSE(h.onext(0, 2 * v + 1));
+    }
+}
+
+TEST_P(KaryIncrement, OnextAccumulatesAcrossIncrements)
+{
+    const unsigned radix = std::get<0>(GetParam());
+    const unsigned k = std::get<1>(GetParam());
+    const unsigned n = radix / 2;
+    if (k >= radix)
+        GTEST_SKIP();
+
+    Harness h(radix, 16, 4);
+    h.setDigit(0, 0, radix - 1); // will wrap on first increment
+    h.setMask(0, true);
+    h.run(h.gen.karyIncrement(0, k, h.maskRow));
+    ASSERT_TRUE(h.onext(0, 0));
+    // A second increment that does not wrap must keep Onext set.
+    const unsigned v1 = jc::add(n, radix - 1, k);
+    if (!jc::wraps(n, v1, k)) {
+        h.run(h.gen.karyIncrement(0, k, h.maskRow));
+        EXPECT_TRUE(h.onext(0, 0));
+        EXPECT_EQ(h.getDigit(0, 0),
+                  static_cast<int>(jc::add(n, v1, k)));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RadixByK, KaryIncrement,
+    ::testing::Combine(::testing::Values(2u, 4u, 6u, 8u, 10u, 16u,
+                                         20u),
+                       ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u,
+                                         9u, 11u, 15u, 19u)));
+
+// ---------------------------------------------------------------------
+// Carry rippling
+// ---------------------------------------------------------------------
+
+TEST(CarryRipple, MovesPendingOverflowUp)
+{
+    Harness h(10, 16, 4);
+    // Column 0: digit0 pending (Onext set), digit1 = 3.
+    h.setDigit(0, 0, 7);
+    h.sub.rawRow(h.layout.onextRow(0)).set(0, true);
+    h.setDigit(1, 0, 3);
+    // Column 1: nothing pending.
+    h.setDigit(0, 1, 5);
+    h.setDigit(1, 1, 2);
+
+    h.run(h.gen.carryRipple(0));
+
+    EXPECT_EQ(h.getDigit(1, 0), 4);     // received the carry
+    EXPECT_FALSE(h.onext(0, 0));        // consumed
+    EXPECT_EQ(h.getDigit(0, 0), 7);     // LSD unchanged
+    EXPECT_EQ(h.getDigit(1, 1), 2);     // column 1 untouched
+    EXPECT_FALSE(h.onext(0, 1));
+}
+
+TEST(CarryRipple, CarryIntoFullDigitSetsItsOnext)
+{
+    Harness h(4, 16, 2);
+    h.sub.rawRow(h.layout.onextRow(0)).set(0, true);
+    h.setDigit(1, 0, 3); // will wrap to 0 with Onext(1) set
+    h.run(h.gen.carryRipple(0));
+    EXPECT_EQ(h.getDigit(1, 0), 0);
+    EXPECT_TRUE(h.onext(1, 0));
+    EXPECT_FALSE(h.onext(0, 0));
+}
+
+TEST(BorrowRipple, MovesPendingBorrowUp)
+{
+    Harness h(10, 16, 2);
+    h.sub.rawRow(h.layout.onextRow(0)).set(0, true); // pending borrow
+    h.setDigit(1, 0, 3);
+    h.run(h.gen.borrowRipple(0));
+    EXPECT_EQ(h.getDigit(1, 0), 2);
+    EXPECT_FALSE(h.onext(0, 0));
+    EXPECT_FALSE(h.onext(1, 0));
+}
+
+// ---------------------------------------------------------------------
+// Multi-digit end-to-end accumulation at muProgram level
+// ---------------------------------------------------------------------
+
+class RadixOnly : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(RadixOnly, MultiDigitAccumulationMatchesArithmetic)
+{
+    const unsigned radix = GetParam();
+    Harness h(radix, 16, 8);
+    for (size_t col = 0; col < 8; ++col)
+        h.setMask(col, col % 2 == 0);
+
+    // Accumulate a few values digit-wise with full rippling.
+    const std::vector<uint64_t> values = {1, radix - 1, radix + 3,
+                                          2 * radix + 1, 17, 255};
+    uint64_t expected = 0;
+    for (uint64_t v : values) {
+        uint64_t rest = v;
+        unsigned pos = 0;
+        while (rest != 0) {
+            const unsigned k = static_cast<unsigned>(rest % radix);
+            if (k != 0)
+                h.run(h.gen.karyIncrement(pos, k, h.maskRow));
+            rest /= radix;
+            ++pos;
+        }
+        // Full ripple pass.
+        for (unsigned d = 0; d + 1 < h.layout.numDigits(); ++d)
+            h.run(h.gen.carryRipple(d));
+        expected += v;
+    }
+
+    for (size_t col = 0; col < 8; ++col) {
+        uint64_t got = 0;
+        for (unsigned dd = h.layout.numDigits(); dd-- > 0;) {
+            const int dv = h.getDigit(dd, col);
+            ASSERT_GE(dv, 0) << "invalid JC state";
+            got = got * radix + static_cast<unsigned>(dv);
+            EXPECT_FALSE(h.onext(dd, col)) << "unresolved overflow";
+        }
+        EXPECT_EQ(got, col % 2 == 0 ? expected : 0)
+            << "radix=" << radix << " col=" << col;
+    }
+}
+
+TEST_P(RadixOnly, IncrementOpCountNearlyConstantInK)
+{
+    // Sec. 4.5.1 claims increment-by-k has the same latency as
+    // increment-by-one; our strict-destructive codegen adds only the
+    // k feedback saves and negated-update deltas.
+    const unsigned radix = GetParam();
+    const unsigned n = radix / 2;
+    jc::CounterLayout layout(radix, 16, 0);
+    uprog::AmbitCodegen gen(layout, {});
+    const uint64_t base = gen.karyIncrement(0, 1, 99).totalOps();
+    for (unsigned k = 2; k < radix; ++k) {
+        const uint64_t ops = gen.karyIncrement(0, k, 99).totalOps();
+        EXPECT_LE(ops, base + 4 * n) << "k=" << k;
+        EXPECT_GE(ops + 4 * n, base) << "k=" << k;
+    }
+}
+
+TEST_P(RadixOnly, ClearCountersZeroesEverything)
+{
+    const unsigned radix = GetParam();
+    Harness h(radix, 16, 4);
+    h.setDigit(0, 1, radix - 1);
+    h.sub.rawRow(h.layout.onextRow(0)).set(1, true);
+    h.sub.run(h.gen.clearCounters());
+    EXPECT_EQ(h.getDigit(0, 1), 0);
+    EXPECT_FALSE(h.onext(0, 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Radices, RadixOnly,
+                         ::testing::Values(2u, 4u, 6u, 8u, 10u, 16u,
+                                           20u));
+
+// ---------------------------------------------------------------------
+// Cost formulas
+// ---------------------------------------------------------------------
+
+TEST(CostFormulas, PaperConstants)
+{
+    EXPECT_EQ(uprog::AmbitCodegen::paperIncrementOps(5), 42u);
+    EXPECT_EQ(uprog::AmbitCodegen::paperProtectedOps(5, 2), 81u);
+    EXPECT_EQ(uprog::AmbitCodegen::paperProtectedOps(5, 4), 141u);
+    EXPECT_EQ(uprog::AmbitCodegen::paperProtectedOps(5, 6), 201u);
+}
+
+TEST(CostFormulas, GeneratedCountsTrackPaperScaling)
+{
+    // Our per-bit cost is 8-10 AAPs vs the paper's 7; the ratio of
+    // generated to paper counts must stay bounded and roughly flat
+    // across radices (same asymptotics in n).
+    for (unsigned radix : {4u, 8u, 10u, 16u, 20u}) {
+        jc::CounterLayout layout(radix, 16, 0);
+        uprog::AmbitCodegen gen(layout, {});
+        const double ours = static_cast<double>(
+            gen.karyIncrement(0, 1, 99).totalOps());
+        const double paper = static_cast<double>(
+            uprog::AmbitCodegen::paperIncrementOps(radix / 2));
+        EXPECT_GT(ours / paper, 0.9) << "radix=" << radix;
+        EXPECT_LT(ours / paper, 1.8) << "radix=" << radix;
+    }
+}

@@ -1,0 +1,421 @@
+/**
+ * @file
+ * C2M engine integration tests: masked accumulation against plain
+ * arithmetic across radices and scheduling modes, signed
+ * accumulation, tensor ops (vector add, ReLU, shift-left), and the
+ * protection schemes under injected faults.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/engine.hpp"
+
+using namespace c2m;
+using core::C2MEngine;
+using core::CountMode;
+using core::EngineConfig;
+using core::Protection;
+using core::RippleMode;
+
+namespace {
+
+EngineConfig
+smallConfig(unsigned radix, size_t counters = 16)
+{
+    EngineConfig cfg;
+    cfg.radix = radix;
+    cfg.capacityBits = 20;
+    cfg.numCounters = counters;
+    cfg.maxMaskRows = 8;
+    return cfg;
+}
+
+} // namespace
+
+class EngineRadix : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(EngineRadix, MaskedAccumulationMatchesArithmetic)
+{
+    const unsigned radix = GetParam();
+    C2MEngine eng(smallConfig(radix));
+    Rng rng(radix);
+
+    std::vector<std::vector<uint8_t>> masks;
+    std::vector<unsigned> handles;
+    for (int m = 0; m < 4; ++m) {
+        std::vector<uint8_t> mask(16);
+        for (auto &b : mask)
+            b = rng.nextBool(0.5);
+        masks.push_back(mask);
+        handles.push_back(eng.addMask(mask));
+    }
+
+    std::vector<int64_t> expected(16, 0);
+    for (int step = 0; step < 60; ++step) {
+        const uint64_t v = rng.nextBounded(256);
+        const unsigned m = static_cast<unsigned>(rng.nextBounded(4));
+        eng.accumulate(v, handles[m]);
+        for (size_t j = 0; j < 16; ++j)
+            if (masks[m][j])
+                expected[j] += static_cast<int64_t>(v);
+    }
+
+    EXPECT_EQ(eng.readCounters(), expected) << "radix=" << radix;
+    EXPECT_EQ(eng.stats().invalidStates, 0u);
+}
+
+TEST_P(EngineRadix, FullRippleModeAgreesWithIarm)
+{
+    const unsigned radix = GetParam();
+    auto cfg = smallConfig(radix);
+    C2MEngine iarm(cfg);
+    cfg.ripple = RippleMode::FullRipple;
+    C2MEngine full(cfg);
+
+    std::vector<uint8_t> mask(16, 1);
+    const unsigned hi = iarm.addMask(mask);
+    const unsigned hf = full.addMask(mask);
+
+    Rng rng(17);
+    for (int step = 0; step < 40; ++step) {
+        const uint64_t v = rng.nextBounded(512);
+        iarm.accumulate(v, hi);
+        full.accumulate(v, hf);
+    }
+    EXPECT_EQ(iarm.readCounters(), full.readCounters());
+    // IARM must issue (strictly) fewer ripples.
+    EXPECT_LT(iarm.stats().ripples, full.stats().ripples);
+}
+
+TEST_P(EngineRadix, UnitCountingAgreesWithKary)
+{
+    const unsigned radix = GetParam();
+    auto cfg = smallConfig(radix);
+    C2MEngine kary(cfg);
+    cfg.counting = CountMode::Unit;
+    C2MEngine unit(cfg);
+
+    std::vector<uint8_t> mask(16, 1);
+    const unsigned hk = kary.addMask(mask);
+    const unsigned hu = unit.addMask(mask);
+
+    Rng rng(23);
+    for (int step = 0; step < 15; ++step) {
+        const uint64_t v = rng.nextBounded(200);
+        kary.accumulate(v, hk);
+        unit.accumulate(v, hu);
+    }
+    EXPECT_EQ(kary.readCounters(), unit.readCounters());
+    // k-ary needs fewer increment muPrograms.
+    EXPECT_LE(kary.stats().increments, unit.stats().increments);
+}
+
+INSTANTIATE_TEST_SUITE_P(Radices, EngineRadix,
+                         ::testing::Values(2u, 4u, 6u, 8u, 10u, 16u,
+                                           20u));
+
+TEST(Engine, ZeroInputsAreSkipped)
+{
+    C2MEngine eng(smallConfig(4));
+    const unsigned h = eng.addMask(std::vector<uint8_t>(16, 1));
+    const auto before = eng.subarray().stats().commands();
+    eng.accumulate(0, h);
+    EXPECT_EQ(eng.subarray().stats().commands(), before);
+    EXPECT_EQ(eng.stats().inputsAccumulated, 1u);
+}
+
+TEST(Engine, SignedAccumulationCrossesZero)
+{
+    auto cfg = smallConfig(10);
+    C2MEngine eng(cfg);
+    const unsigned h = eng.addMask(std::vector<uint8_t>(16, 1));
+
+    eng.accumulateSigned(5, h);
+    eng.accumulateSigned(-12, h);
+    auto v = eng.readCounters();
+    for (auto x : v)
+        EXPECT_EQ(x, -7);
+
+    eng.accumulateSigned(20, h);
+    v = eng.readCounters();
+    for (auto x : v)
+        EXPECT_EQ(x, 13);
+}
+
+TEST(Engine, SignedRandomWalkMatchesArithmetic)
+{
+    auto cfg = smallConfig(4);
+    C2MEngine eng(cfg);
+    std::vector<uint8_t> mask(16);
+    Rng rng(31);
+    for (auto &b : mask)
+        b = rng.nextBool(0.5);
+    const unsigned h = eng.addMask(mask);
+
+    std::vector<int64_t> expected(16, 0);
+    for (int step = 0; step < 30; ++step) {
+        const int64_t v = rng.nextRange(-40, 40);
+        eng.accumulateSigned(v, h);
+        for (size_t j = 0; j < 16; ++j)
+            if (mask[j])
+                expected[j] += v;
+    }
+    EXPECT_EQ(eng.readCounters(), expected);
+}
+
+TEST(Engine, TwoGroupsAreIndependent)
+{
+    auto cfg = smallConfig(6);
+    cfg.numGroups = 2;
+    C2MEngine eng(cfg);
+    const unsigned h = eng.addMask(std::vector<uint8_t>(16, 1));
+    eng.accumulate(7, h, 0);
+    eng.accumulate(11, h, 1);
+    for (auto v : eng.readCounters(0))
+        EXPECT_EQ(v, 7);
+    for (auto v : eng.readCounters(1))
+        EXPECT_EQ(v, 11);
+}
+
+TEST(Engine, AddCountersImplementsAlg2)
+{
+    auto cfg = smallConfig(10);
+    cfg.numGroups = 2;
+    C2MEngine eng(cfg);
+    std::vector<uint8_t> m0(16, 0), m1(16, 0);
+    for (size_t j = 0; j < 16; ++j)
+        (j % 2 ? m0 : m1)[j] = 1;
+    const unsigned h0 = eng.addMask(m0);
+    const unsigned h1 = eng.addMask(m1);
+    const unsigned hall = eng.addMask(std::vector<uint8_t>(16, 1));
+
+    eng.accumulate(123, hall, 0);
+    eng.accumulate(77, h0, 1);
+    eng.accumulate(55, h1, 1);
+
+    eng.addCounters(0, 1);
+
+    const auto v = eng.readCounters(0);
+    for (size_t j = 0; j < 16; ++j)
+        EXPECT_EQ(v[j], 123 + (j % 2 ? 77 : 55)) << "col " << j;
+    // Source group unchanged.
+    const auto s = eng.readCounters(1);
+    for (size_t j = 0; j < 16; ++j)
+        EXPECT_EQ(s[j], j % 2 ? 77 : 55);
+}
+
+TEST(Engine, ReluZeroesNegativeCounters)
+{
+    auto cfg = smallConfig(4);
+    C2MEngine eng(cfg);
+    std::vector<uint8_t> neg_mask(16, 0), all(16, 1);
+    for (size_t j = 0; j < 8; ++j)
+        neg_mask[j] = 1;
+    const unsigned hn = eng.addMask(neg_mask);
+    const unsigned ha = eng.addMask(all);
+
+    eng.accumulateSigned(10, ha);
+    eng.accumulateSigned(-25, hn); // first 8 go negative
+    eng.relu(0);
+    const auto v = eng.readCounters();
+    for (size_t j = 0; j < 16; ++j)
+        EXPECT_EQ(v[j], j < 8 ? 0 : 10) << "col " << j;
+}
+
+TEST(Engine, ShiftLeftDoubles)
+{
+    auto cfg = smallConfig(6);
+    cfg.numGroups = 2;
+    C2MEngine eng(cfg);
+    const unsigned h = eng.addMask(std::vector<uint8_t>(16, 1));
+    eng.accumulate(13, h, 0);
+    eng.shiftLeft(0, 1, 3); // x8
+    for (auto v : eng.readCounters(0))
+        EXPECT_EQ(v, 104);
+}
+
+TEST(Engine, DrainClearsPendingOverflows)
+{
+    auto cfg = smallConfig(4);
+    C2MEngine eng(cfg);
+    const unsigned h = eng.addMask(std::vector<uint8_t>(16, 1));
+    for (int i = 0; i < 10; ++i)
+        eng.accumulate(3, h);
+    eng.drain(0);
+    // After draining, every Onext row must be clear.
+    const auto &l = eng.layout(0);
+    for (unsigned d = 0; d < l.numDigits(); ++d)
+        EXPECT_EQ(eng.subarray().peekRow(l.onextRow(d)).popcount(),
+                  0u);
+    for (auto v : eng.readCounters())
+        EXPECT_EQ(v, 30);
+}
+
+// ---------------------------------------------------------------------
+// Protection
+// ---------------------------------------------------------------------
+
+TEST(EngineProtected, FaultFreeEccMatchesUnprotected)
+{
+    auto cfg = smallConfig(10);
+    cfg.protection = Protection::Ecc;
+    cfg.frChecks = 1;
+    C2MEngine eng(cfg);
+    const unsigned h = eng.addMask(std::vector<uint8_t>(16, 1));
+    Rng rng(41);
+    int64_t expected = 0;
+    for (int i = 0; i < 20; ++i) {
+        const uint64_t v = rng.nextBounded(100);
+        eng.accumulate(v, h);
+        expected += static_cast<int64_t>(v);
+    }
+    for (auto v : eng.readCounters())
+        EXPECT_EQ(v, expected);
+    EXPECT_EQ(eng.stats().faultsDetected, 0u);
+    EXPECT_GT(eng.stats().checksRun, 0u);
+}
+
+TEST(EngineProtected, EccDetectsAndRetriesUnderFaults)
+{
+    auto cfg = smallConfig(10, 64);
+    cfg.protection = Protection::Ecc;
+    cfg.frChecks = 2;
+    cfg.faultRate = 1e-3;
+    cfg.maxRetries = 8;
+    C2MEngine eng(cfg);
+    const unsigned h = eng.addMask(std::vector<uint8_t>(64, 1));
+    int64_t expected = 0;
+    Rng rng(43);
+    for (int i = 0; i < 25; ++i) {
+        const uint64_t v = rng.nextBounded(50);
+        eng.accumulate(v, h);
+        expected += static_cast<int64_t>(v);
+    }
+    EXPECT_GT(eng.stats().faultsDetected, 0u);
+    EXPECT_GT(eng.stats().retries, 0u);
+
+    // Detection + retry keeps most counters exact; the residue is
+    // the unchecked commit OR (documented in DESIGN.md).
+    const auto v = eng.readCounters();
+    size_t exact = 0;
+    for (auto x : v)
+        if (x == expected)
+            ++exact;
+    EXPECT_GE(exact, v.size() * 7 / 10);
+}
+
+TEST(EngineProtected, EccBeatsUnprotectedUnderFaults)
+{
+    const double p = 2e-3;
+    auto make = [&](Protection prot) {
+        auto cfg = smallConfig(10, 64);
+        cfg.protection = prot;
+        cfg.faultRate = p;
+        cfg.maxRetries = 8;
+        cfg.seed = 91;
+        return C2MEngine(cfg);
+    };
+
+    auto run = [&](C2MEngine &eng) {
+        const unsigned h = eng.addMask(std::vector<uint8_t>(64, 1));
+        Rng rng(45);
+        int64_t expected = 0;
+        for (int i = 0; i < 30; ++i) {
+            const uint64_t v = rng.nextBounded(60);
+            eng.accumulate(v, h);
+            expected += static_cast<int64_t>(v);
+        }
+        double err = 0;
+        for (auto x : eng.readCounters())
+            err += std::abs(static_cast<double>(x - expected));
+        return err;
+    };
+
+    auto none_eng = make(Protection::None);
+    auto ecc_eng = make(Protection::Ecc);
+    const double err_none = run(none_eng);
+    const double err_ecc = run(ecc_eng);
+    EXPECT_LT(err_ecc, err_none);
+}
+
+TEST(EngineProtected, TmrFaultFreeWorks)
+{
+    auto cfg = smallConfig(4);
+    cfg.protection = Protection::Tmr;
+    C2MEngine eng(cfg);
+    const unsigned h = eng.addMask(std::vector<uint8_t>(16, 1));
+    eng.accumulate(42, h);
+    eng.accumulate(13, h);
+    for (auto v : eng.readCounters())
+        EXPECT_EQ(v, 55);
+    EXPECT_GT(eng.stats().voteOps, 0u);
+}
+
+TEST(EngineProtected, TmrMasksSingleReplicaFaults)
+{
+    auto cfg = smallConfig(4, 64);
+    cfg.protection = Protection::Tmr;
+    cfg.faultRate = 1e-3;
+    cfg.seed = 7;
+    C2MEngine tmr(cfg);
+    cfg.protection = Protection::None;
+    C2MEngine raw(cfg);
+
+    auto run = [&](C2MEngine &eng) {
+        const unsigned h = eng.addMask(std::vector<uint8_t>(64, 1));
+        int64_t expected = 0;
+        Rng rng(49);
+        for (int i = 0; i < 25; ++i) {
+            const uint64_t v = rng.nextBounded(40);
+            eng.accumulate(v, h);
+            expected += static_cast<int64_t>(v);
+        }
+        double err = 0;
+        for (auto x : eng.readCounters())
+            err += std::abs(static_cast<double>(x - expected));
+        return err;
+    };
+
+    EXPECT_LE(run(tmr), run(raw));
+}
+
+TEST(EngineProtected, EccCostCheaperThanTmr)
+{
+    auto cfg = smallConfig(10);
+    cfg.protection = Protection::Ecc;
+    cfg.frChecks = 1;
+    C2MEngine ecc_eng(cfg);
+    cfg.protection = Protection::Tmr;
+    C2MEngine tmr_eng(cfg);
+    cfg.protection = Protection::None;
+    C2MEngine raw_eng(cfg);
+
+    auto ops = [](C2MEngine &eng) {
+        const unsigned h = eng.addMask(std::vector<uint8_t>(16, 1));
+        const auto before = eng.subarray().stats().commands();
+        eng.accumulate(9, h);
+        return eng.subarray().stats().commands() - before;
+    };
+
+    const auto raw = ops(raw_eng);
+    const auto ecc = ops(ecc_eng);
+    const auto tmr = ops(tmr_eng);
+    EXPECT_GT(ecc, raw);
+    EXPECT_GT(tmr, ecc); // TMR's ~4x beats ECC's overhead (Sec. 3)
+}
+
+TEST(Engine, ClearResetsCountersButKeepsMasks)
+{
+    C2MEngine eng(smallConfig(4));
+    const unsigned h = eng.addMask(std::vector<uint8_t>(16, 1));
+    eng.accumulate(9, h);
+    eng.clear();
+    for (auto v : eng.readCounters())
+        EXPECT_EQ(v, 0);
+    eng.accumulate(5, h); // mask still valid
+    for (auto v : eng.readCounters())
+        EXPECT_EQ(v, 5);
+}

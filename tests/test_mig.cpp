@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Majority-inverter graph tests: Omega simplification rules,
+ * structural hashing, and equivalence of the Fig. 6a / Fig. 12a
+ * circuits with the functions the muProgram generators implement.
+ */
+
+#include <gtest/gtest.h>
+
+#include "uprog/mig.hpp"
+
+using namespace c2m;
+using uprog::Mig;
+using uprog::MigEdge;
+
+TEST(Mig, ConstantsEvaluate)
+{
+    Mig g;
+    EXPECT_FALSE(g.evaluate(g.constZero(), {}));
+    EXPECT_TRUE(g.evaluate(g.constOne(), {}));
+}
+
+TEST(Mig, MajorityRuleCollapses)
+{
+    Mig g;
+    auto x = g.addInput("x");
+    auto y = g.addInput("y");
+    EXPECT_EQ(g.makeMaj(x, x, y).node, x.node); // M(x,x,y) = x
+    EXPECT_EQ(g.numMajNodes(), 0u);
+}
+
+TEST(Mig, ComplementaryRuleCollapses)
+{
+    Mig g;
+    auto x = g.addInput("x");
+    auto y = g.addInput("y");
+    const auto r = g.makeMaj(x, Mig::invert(x), y); // M(x,!x,y) = y
+    EXPECT_EQ(r.node, y.node);
+    EXPECT_EQ(r.neg, y.neg);
+    EXPECT_EQ(g.numMajNodes(), 0u);
+}
+
+TEST(Mig, StructuralHashingReusesNodes)
+{
+    Mig g;
+    auto a = g.addInput("a");
+    auto b = g.addInput("b");
+    auto c = g.addInput("c");
+    const auto m1 = g.makeMaj(a, b, c);
+    const auto m2 = g.makeMaj(c, a, b); // same children, permuted
+    EXPECT_EQ(m1.node, m2.node);
+    EXPECT_EQ(g.numMajNodes(), 1u);
+}
+
+TEST(Mig, AndOrTruthTables)
+{
+    Mig g;
+    auto a = g.addInput("a");
+    auto b = g.addInput("b");
+    const auto and_ = g.makeAnd(a, b);
+    const auto or_ = g.makeOr(a, b);
+    const auto tt_and = g.truthTable(and_);
+    const auto tt_or = g.truthTable(or_);
+    // Input order: a = bit0, b = bit1.
+    EXPECT_EQ(tt_and, (std::vector<bool>{false, false, false, true}));
+    EXPECT_EQ(tt_or, (std::vector<bool>{false, true, true, true}));
+}
+
+TEST(Mig, XorSynthesisMatchesFig12a)
+{
+    Mig g;
+    auto a = g.addInput("a");
+    auto b = g.addInput("b");
+    const auto x = g.makeXor(a, b);
+    EXPECT_EQ(g.truthTable(x),
+              (std::vector<bool>{false, true, true, false}));
+    // IR1 (OR), IR2 (AND) and FR: three majority gates.
+    EXPECT_EQ(g.numMajNodes(), 3u);
+}
+
+TEST(Mig, ForwardShiftCircuitOfFig6a)
+{
+    // b_i' = (m AND b_{i-1}) OR (NOT m AND b_i).
+    Mig g;
+    auto m = g.addInput("m");
+    auto prev = g.addInput("b_prev");
+    auto cur = g.addInput("b_cur");
+    const auto out = g.makeOr(g.makeAnd(m, prev),
+                              g.makeAnd(Mig::invert(m), cur));
+    const auto tt = g.truthTable(out);
+    for (unsigned r = 0; r < 8; ++r) {
+        const bool mv = r & 1, pv = (r >> 1) & 1, cv = (r >> 2) & 1;
+        EXPECT_EQ(tt[r], mv ? pv : cv) << "row " << r;
+    }
+    // Three majority gates, as in the unoptimized Fig. 6a MIG.
+    EXPECT_EQ(g.numMajNodes(), 3u);
+}
+
+TEST(Mig, InvertedFeedbackCircuit)
+{
+    // b_1' = (m AND NOT msb) OR (NOT m AND b_1).
+    Mig g;
+    auto m = g.addInput("m");
+    auto msb = g.addInput("msb");
+    auto b1 = g.addInput("b1");
+    const auto out = g.makeOr(g.makeAnd(m, Mig::invert(msb)),
+                              g.makeAnd(Mig::invert(m), b1));
+    const auto tt = g.truthTable(out);
+    for (unsigned r = 0; r < 8; ++r) {
+        const bool mv = r & 1, sv = (r >> 1) & 1, bv = (r >> 2) & 1;
+        EXPECT_EQ(tt[r], mv ? !sv : bv);
+    }
+}
+
+TEST(Mig, OverflowCircuitOfFig6a)
+{
+    // Onext' = Onext OR (theta0 AND NOT msb').
+    Mig g;
+    auto onext = g.addInput("onext");
+    auto theta = g.addInput("theta");
+    auto msb = g.addInput("msb_new");
+    const auto out =
+        g.makeOr(onext, g.makeAnd(theta, Mig::invert(msb)));
+    const auto tt = g.truthTable(out);
+    for (unsigned r = 0; r < 8; ++r) {
+        const bool ov = r & 1, th = (r >> 1) & 1, mb = (r >> 2) & 1;
+        EXPECT_EQ(tt[r], ov || (th && !mb));
+    }
+}
+
+TEST(Mig, FullAdderIdentityUsedByRcaCodegen)
+{
+    // sum = MAJ(!cout, cin, MAJ(a, b, !cin)) with cout = MAJ(a,b,cin).
+    Mig g;
+    auto a = g.addInput("a");
+    auto b = g.addInput("b");
+    auto cin = g.addInput("cin");
+    const auto cout = g.makeMaj(a, b, cin);
+    const auto t = g.makeMaj(a, b, Mig::invert(cin));
+    const auto sum = g.makeMaj(Mig::invert(cout), cin, t);
+    const auto tt_sum = g.truthTable(sum);
+    const auto tt_cout = g.truthTable(cout);
+    for (unsigned r = 0; r < 8; ++r) {
+        const int av = r & 1, bv = (r >> 1) & 1, cv = (r >> 2) & 1;
+        EXPECT_EQ(tt_sum[r], ((av + bv + cv) & 1) != 0);
+        EXPECT_EQ(tt_cout[r], (av + bv + cv) >= 2);
+    }
+}
+
+TEST(Mig, ConstantFolding)
+{
+    Mig g;
+    auto a = g.addInput("a");
+    // M(0, 1, a) = a.
+    const auto r = g.makeMaj(g.constZero(), g.constOne(), a);
+    EXPECT_EQ(r.node, a.node);
+    // AND with zero is zero: M(0, 0, a) handled by the x,x,y rule.
+    const auto z = g.makeMaj(g.constZero(), g.constZero(), a);
+    EXPECT_EQ(z.node, 0u);
+    EXPECT_FALSE(z.neg);
+}
+
+TEST(Mig, DeepCompositionEvaluates)
+{
+    // Chain of XORs == parity of 6 inputs.
+    Mig g;
+    std::vector<MigEdge> in;
+    for (int i = 0; i < 6; ++i)
+        in.push_back(g.addInput("x" + std::to_string(i)));
+    MigEdge acc = in[0];
+    for (int i = 1; i < 6; ++i)
+        acc = g.makeXor(acc, in[i]);
+    const auto tt = g.truthTable(acc);
+    for (unsigned r = 0; r < 64; ++r)
+        EXPECT_EQ(tt[r], (__builtin_popcount(r) & 1) != 0);
+}

@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Performance-model tests: cost-model vs functional-engine command
+ * counts, Fig. 8 orderings (k-ary < unit, IARM capacity-invariance,
+ * RCA flat), bank scaling (Fig. 15), sparsity behaviour (Fig. 16),
+ * C2M-vs-SIMDRAM ordering (Fig. 14/18), and the GPU roofline.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/costmodel.hpp"
+#include "core/engine.hpp"
+#include "core/gpu_model.hpp"
+#include "core/perf.hpp"
+#include "workloads/llama.hpp"
+
+using namespace c2m;
+using namespace c2m::core;
+
+TEST(CostModel, MatchesFunctionalEngineCommandCounts)
+{
+    // The analytic model must count exactly the commands the
+    // functional engine executes for the same input stream.
+    const unsigned radix = 10;
+    EngineConfig cfg;
+    cfg.radix = radix;
+    cfg.capacityBits = 20;
+    cfg.numCounters = 8;
+    cfg.maxMaskRows = 2;
+    C2MEngine eng(cfg);
+    const unsigned h = eng.addMask(std::vector<uint8_t>(8, 1));
+    // Skip the construction-time counter clearing in the baseline.
+    const auto before = eng.subarray().stats().commands();
+
+    const std::vector<uint64_t> values = {1, 9, 10, 99, 100, 255, 7,
+                                          0, 64};
+    for (uint64_t v : values)
+        eng.accumulate(v, h);
+
+    C2mCostModel model(radix, 20);
+    const auto cost = model.accumulateStream(values);
+    EXPECT_EQ(cost.aaps,
+              eng.subarray().stats().commands() - before);
+    EXPECT_EQ(cost.increments, eng.stats().increments);
+    EXPECT_EQ(cost.ripples, eng.stats().ripples);
+}
+
+TEST(CostModel, Fig8aKaryBeatsUnitCounting)
+{
+    for (unsigned radix : {4u, 6u, 8u, 10u, 16u, 20u}) {
+        C2mCostModel kary(radix, 64);
+        C2mCostModel unit(radix, 64, false, 1, CountMode::Unit,
+                          RippleMode::Iarm);
+        EXPECT_LT(kary.avgOpsPerInput(8), unit.avgOpsPerInput(8))
+            << "radix=" << radix;
+    }
+}
+
+TEST(CostModel, Fig8bIarmBeatsFullRippling)
+{
+    for (unsigned radix : {4u, 8u, 10u, 16u}) {
+        C2mCostModel iarm(radix, 64);
+        C2mCostModel full(radix, 64, false, 1, CountMode::Kary,
+                          RippleMode::FullRipple);
+        EXPECT_LT(iarm.avgOpsPerInput(8), full.avgOpsPerInput(8))
+            << "radix=" << radix;
+    }
+}
+
+TEST(CostModel, Fig8bIarmIsCapacityInvariant)
+{
+    // The single IARM curve of Fig. 8b: the i16/i32/i64 costs differ
+    // only marginally (ripples touched are input-driven).
+    C2mCostModel i16(4, 16);
+    C2mCostModel i64(4, 64);
+    const double a = i16.avgOpsPerInput(8);
+    const double b = i64.avgOpsPerInput(8);
+    EXPECT_NEAR(a / b, 1.0, 0.05);
+}
+
+TEST(CostModel, Fig8bFullRipplingIsCapacityDependent)
+{
+    C2mCostModel i16(4, 16, false, 1, CountMode::Kary,
+                     RippleMode::FullRipple);
+    C2mCostModel i64(4, 64, false, 1, CountMode::Kary,
+                     RippleMode::FullRipple);
+    EXPECT_GT(i64.avgOpsPerInput(8), 1.5 * i16.avgOpsPerInput(8));
+}
+
+TEST(CostModel, Fig8aRcaFlatAcrossRadixAndProportionalToWidth)
+{
+    const RcaCostModel w16(16), w32(32), w64(64);
+    EXPECT_NEAR(static_cast<double>(w32.accumulateOps()) /
+                    w16.accumulateOps(),
+                2.0, 0.1);
+    EXPECT_NEAR(static_cast<double>(w64.accumulateOps()) /
+                    w32.accumulateOps(),
+                2.0, 0.1);
+}
+
+TEST(CostModel, C2mBeatsRcaAtModerateRadices)
+{
+    // Fig. 8b: IARM counting needs far fewer ops than a 64-bit RCA
+    // for radices 4-8.
+    const RcaCostModel rca(64);
+    for (unsigned radix : {4u, 6u, 8u, 10u}) {
+        C2mCostModel cm(radix, 64);
+        EXPECT_LT(cm.avgOpsPerInput(8),
+                  static_cast<double>(rca.accumulateOps()))
+            << "radix=" << radix;
+    }
+}
+
+TEST(CostModel, ProtectionInflatesOps)
+{
+    C2mCostModel plain(10, 32);
+    C2mCostModel prot(10, 32, true, 1);
+    C2mCostModel prot3(10, 32, true, 3);
+    EXPECT_GT(prot.incrementOps(1), plain.incrementOps(1));
+    EXPECT_GT(prot3.incrementOps(1), prot.incrementOps(1));
+}
+
+TEST(PerfModel, EvaluateComputesConsistentMetrics)
+{
+    DramPerfModel model;
+    const auto r = model.evaluate(1'000'000, 100, 16, 2e9);
+    EXPECT_GT(r.timeMs, 0.0);
+    EXPECT_GT(r.energyMj, 0.0);
+    EXPECT_GT(r.gops, 0.0);
+    EXPECT_NEAR(r.gopsPerWatt, r.gops / r.avgPowerW, 1e-9);
+    EXPECT_NEAR(r.gopsPerMm2,
+                r.gops / model.energy().rankAreaMm2(), 1e-9);
+}
+
+TEST(PerfModel, Fig15MoreBanksReduceLatency)
+{
+    DramPerfModel model;
+    TensorWorkload w;
+    w.M = 1;
+    w.N = 22016;
+    w.K = 8192;
+
+    double prev = 1e30;
+    for (unsigned banks : {1u, 4u, 16u}) {
+        C2mDesign d;
+        d.banks = banks;
+        const auto r = c2mWorkloadPerf(w, d, model);
+        EXPECT_LT(r.timeMs, prev) << "banks=" << banks;
+        prev = r.timeMs;
+    }
+}
+
+TEST(PerfModel, Fig15C2mFasterThanSimdram)
+{
+    DramPerfModel model;
+    for (const auto &shape : workloads::llamaGemvShapes()) {
+        TensorWorkload w;
+        w.M = shape.M;
+        w.N = shape.N;
+        w.K = shape.K;
+        C2mDesign cd;
+        SimdramDesign sd;
+        const auto c = c2mWorkloadPerf(w, cd, model);
+        const auto s = simdramWorkloadPerf(w, sd, model);
+        EXPECT_LT(c.timeMs, s.timeMs) << shape.id;
+        EXPECT_GT(c.gopsPerWatt, s.gopsPerWatt) << shape.id;
+    }
+}
+
+TEST(PerfModel, Fig16SparsityHelpsC2mNotSimdram)
+{
+    DramPerfModel model;
+    TensorWorkload w;
+    w.M = 1;
+    w.N = 22016;
+    w.K = 8192;
+
+    C2mDesign cd;
+    SimdramDesign sd;
+    w.sparsity = 0.0;
+    const auto c_dense = c2mWorkloadPerf(w, cd, model);
+    const auto s_dense = simdramWorkloadPerf(w, sd, model);
+    w.sparsity = 0.9;
+    const auto c_sparse = c2mWorkloadPerf(w, cd, model);
+    const auto s_sparse = simdramWorkloadPerf(w, sd, model);
+
+    EXPECT_LT(c_sparse.timeMs, 0.5 * c_dense.timeMs);
+    EXPECT_NEAR(s_sparse.timeMs / s_dense.timeMs, 1.0, 0.01);
+}
+
+TEST(PerfModel, ProtectionOverheadIsModest)
+{
+    // Fig. 18: protection costs roughly 2x ops plus ~20% correction,
+    // far below TMR's 4x.
+    DramPerfModel model;
+    TensorWorkload w;
+    w.M = 16;
+    w.N = 4096;
+    w.K = 1024;
+    C2mDesign plain;
+    C2mDesign prot = plain;
+    prot.protect = true;
+    const auto a = c2mWorkloadPerf(w, plain, model);
+    const auto b = c2mWorkloadPerf(w, prot, model);
+    EXPECT_GT(b.timeMs, a.timeMs);
+    EXPECT_LT(b.timeMs, 6.0 * a.timeMs);
+}
+
+TEST(GpuModel, GemvIsBandwidthBound)
+{
+    const auto gpu = GpuModel::rtx3090ti();
+    const auto r = gpu.run(1, 22016, 8192);
+    // Weight streaming dominates: ~180 MB at ~1 TB/s is ~0.18 ms.
+    EXPECT_NEAR(r.kernelMs, 0.18, 0.05);
+    EXPECT_GT(r.transferMs, 5.0); // PCIe transfer dwarfs the kernel
+}
+
+TEST(GpuModel, GemmIsComputeBound)
+{
+    const auto gpu = GpuModel::rtx3090ti();
+    const auto r = gpu.run(8192, 8192, 8192);
+    EXPECT_GT(r.gops, 100000.0); // > 100 TOPS achieved
+    EXPECT_LT(r.gops, 400000.0);
+}
+
+TEST(GpuModel, C2mCrossesGpuGemvAtModerateSparsity)
+{
+    // Fig. 16 (left): with host-device transfer included, C2M is
+    // comparable to the GPU on dense GEMV and overtakes it beyond
+    // roughly 40% input sparsity.
+    DramPerfModel model;
+    TensorWorkload w;
+    w.M = 1;
+    w.N = 22016;
+    w.K = 8192;
+    C2mDesign d;
+    const auto g = GpuModel::rtx3090ti().run(1, 22016, 8192);
+
+    const auto dense = c2mWorkloadPerf(w, d, model);
+    EXPECT_LT(dense.timeMs, 3.0 * g.totalMs); // comparable
+
+    w.sparsity = 0.5;
+    const auto sparse = c2mWorkloadPerf(w, d, model);
+    EXPECT_LT(sparse.timeMs, g.totalMs); // crossover
+}
+
+TEST(GpuModel, GpuWinsDenseGemm)
+{
+    // Fig. 16 (right): the GPU dominates dense GEMM; C2M needs
+    // extreme sparsity to cross over.
+    DramPerfModel model;
+    TensorWorkload w;
+    w.M = 8192;
+    w.N = 22016;
+    w.K = 8192;
+    C2mDesign d;
+    const auto c = c2mWorkloadPerf(w, d, model);
+    const auto g = GpuModel::rtx3090ti().run(w.M, w.N, w.K);
+    EXPECT_GT(c.timeMs, g.totalMs);
+
+    w.sparsity = 0.999;
+    const auto c_sparse = c2mWorkloadPerf(w, d, model);
+    EXPECT_LT(c_sparse.timeMs, 0.05 * c.timeMs);
+}
+
+TEST(PerfModel, Fig14EnergyEfficiencyOrdering)
+{
+    // C2M delivers higher GOPS/W than SIMDRAM on every Tab.-3 shape.
+    DramPerfModel model;
+    for (const auto &shape : workloads::llamaAllShapes()) {
+        TensorWorkload w;
+        w.M = shape.M;
+        w.N = shape.N;
+        w.K = shape.K;
+        C2mDesign cd;
+        SimdramDesign sd;
+        const auto c = c2mWorkloadPerf(w, cd, model);
+        const auto s = simdramWorkloadPerf(w, sd, model);
+        EXPECT_GT(c.gopsPerWatt / s.gopsPerWatt, 2.0) << shape.id;
+        EXPECT_GT(c.gopsPerMm2 / s.gopsPerMm2, 2.0) << shape.id;
+    }
+}
