@@ -37,9 +37,14 @@ main()
         uint64_t c = 0;
         for (int v = lo; v < lo + 16; ++v)
             c += e.binCount(v);
-        t.addRow({"[" + std::to_string(lo) + "," +
-                      std::to_string(lo + 16) + ")",
-                  TextTable::fmt(static_cast<uint64_t>(c))});
+        // Append-style build; gcc 12 -Wrestrict misfires on chained
+        // rvalue string operator+ (GCC PR105329).
+        std::string bin = "[";
+        bin += std::to_string(lo);
+        bin += ",";
+        bin += std::to_string(lo + 16);
+        bin += ")";
+        t.addRow({bin, TextTable::fmt(static_cast<uint64_t>(c))});
     }
     std::printf("%s", t.render().c_str());
     std::printf("mean: %.2f (centered, small magnitudes)\n",

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Sharded batch engine scaling: ops/s of the point-update batch path
+ * at 1/2/4/8 shards over a fixed logical counter space.
+ *
+ * Sharding narrows each shard's simulated subarray to 1/N of the
+ * columns, so a routed point update expands into row operations that
+ * touch 1/N of the bits; shards additionally run concurrently on the
+ * thread pool. Both effects compound, so throughput should scale
+ * superlinearly on multi-core hosts and still clearly beat the
+ * single-shard baseline on one core.
+ */
+
+#include <chrono>
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "core/sharded.hpp"
+
+using namespace c2m;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double
+secondsSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+} // namespace
+
+int
+main()
+{
+    core::EngineConfig cfg;
+    cfg.radix = 4;
+    cfg.capacityBits = 16;
+    cfg.numCounters = 32768;
+    cfg.maxMaskRows = 1;
+
+    const size_t num_ops = 2000;
+    Rng rng(99);
+    std::vector<core::BatchOp> ops;
+    ops.reserve(num_ops);
+    for (size_t i = 0; i < num_ops; ++i)
+        ops.push_back({rng.nextBounded(cfg.numCounters),
+                       static_cast<int64_t>(1 + rng.nextBounded(15)),
+                       0});
+
+    std::printf("sharded batch scaling: %zu point updates over %zu "
+                "logical counters\n",
+                num_ops, cfg.numCounters);
+    TextTable t({"shards", "time_s", "ops/s", "speedup"});
+    double base_ops_per_s = 0.0;
+    bool four_shard_ok = false;
+    for (unsigned shards : {1u, 2u, 4u, 8u}) {
+        core::ShardedEngine eng(cfg, shards);
+        // Warm-up: touch every shard once so first-op setup (point
+        // mask allocation, page faults) is off the clock.
+        std::vector<core::BatchOp> warm;
+        for (unsigned s = 0; s < shards; ++s)
+            warm.push_back({eng.shardStart(s), 1, 0});
+        eng.accumulateBatch(warm);
+
+        const auto t0 = Clock::now();
+        eng.accumulateBatch(ops);
+        const double dt = secondsSince(t0);
+        const double rate = static_cast<double>(num_ops) / dt;
+        if (shards == 1)
+            base_ops_per_s = rate;
+        const double speedup = rate / base_ops_per_s;
+        if (shards == 4 && speedup > 2.0)
+            four_shard_ok = true;
+        t.addRow({std::to_string(shards), TextTable::fmt(dt, 3),
+                  TextTable::fmt(rate, 0), TextTable::fmt(speedup, 2)});
+    }
+    std::printf("%s", t.render().c_str());
+    std::printf("4-shard speedup > 2x: %s\n",
+                four_shard_ok ? "yes" : "NO");
+    return four_shard_ok ? 0 : 1;
+}

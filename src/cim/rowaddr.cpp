@@ -10,21 +10,32 @@ namespace cim {
 std::string
 RowRef::toString() const
 {
+    // Build via append rather than `"lit" + std::to_string(...)`:
+    // gcc 12's -Wrestrict misfires on the rvalue operator+ chain
+    // (GCC PR105329) and the library builds with -Werror.
+    std::string s;
     switch (kind) {
       case Kind::Data:
-        return "D" + std::to_string(index);
+        s = "D";
+        break;
       case Kind::T:
-        return "T" + std::to_string(index);
+        s = "T";
+        break;
       case Kind::DccPos:
-        return "DCC" + std::to_string(index);
+        s = "DCC";
+        break;
       case Kind::DccNeg:
-        return "~DCC" + std::to_string(index);
+        s = "~DCC";
+        break;
       case Kind::C0:
         return "C0";
       case Kind::C1:
         return "C1";
     }
-    return "?";
+    if (s.empty())
+        return "?";
+    s += std::to_string(index);
+    return s;
 }
 
 RowSet::RowSet(RowRef a)

@@ -81,6 +81,26 @@ struct EngineStats
     uint64_t uncorrectedBlocks = 0;
     uint64_t invalidStates = 0; ///< unreadable JC patterns at readout
     uint64_t voteOps = 0;
+
+    /**
+     * Field-wise sum, used to merge per-shard stats into one view.
+     * When adding a field above, extend this too — the
+     * EngineStatsMerge test pins sizeof(EngineStats) so a new field
+     * cannot be silently dropped from the merge.
+     */
+    EngineStats &operator+=(const EngineStats &o)
+    {
+        inputsAccumulated += o.inputsAccumulated;
+        increments += o.increments;
+        ripples += o.ripples;
+        checksRun += o.checksRun;
+        faultsDetected += o.faultsDetected;
+        retries += o.retries;
+        uncorrectedBlocks += o.uncorrectedBlocks;
+        invalidStates += o.invalidStates;
+        voteOps += o.voteOps;
+        return *this;
+    }
 };
 
 class C2MEngine

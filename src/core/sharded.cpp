@@ -1,0 +1,223 @@
+#include "core/sharded.hpp"
+
+#include <limits>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+
+namespace c2m {
+namespace core {
+
+namespace {
+
+/** Contiguous range boundaries: remainder spread over the first shards. */
+std::vector<size_t>
+splitRanges(size_t total, unsigned shards)
+{
+    std::vector<size_t> starts(shards + 1, 0);
+    const size_t base = total / shards;
+    const size_t extra = total % shards;
+    for (unsigned s = 0; s < shards; ++s)
+        starts[s + 1] = starts[s] + base + (s < extra ? 1 : 0);
+    return starts;
+}
+
+} // namespace
+
+ShardedEngine::ShardedEngine(const EngineConfig &cfg,
+                             unsigned num_shards,
+                             unsigned num_threads)
+    : cfg_(cfg),
+      starts_(splitRanges(cfg.numCounters,
+                          num_shards ? num_shards : 1)),
+      pool_(num_threads ? num_threads : num_shards)
+{
+    C2M_ASSERT(num_shards >= 1, "need at least one shard");
+    C2M_ASSERT(cfg.numCounters >= num_shards,
+               "fewer counters than shards");
+
+    // Independent per-shard seeds split from the root seed.
+    uint64_t seed_state = cfg.seed;
+    for (unsigned s = 0; s < num_shards; ++s) {
+        EngineConfig scfg = cfg;
+        scfg.numCounters = shardWidth(s);
+        scfg.seed = splitMix64(seed_state);
+        // Handle kPointMask is reserved for routed point updates.
+        scfg.maxMaskRows = cfg.maxMaskRows + 1;
+        shards_.push_back(std::make_unique<C2MEngine>(scfg));
+        shards_.back()->addMask(
+            std::vector<uint8_t>(shardWidth(s), 0));
+    }
+    pointCol_.assign(num_shards, std::numeric_limits<size_t>::max());
+}
+
+unsigned
+ShardedEngine::shardOf(uint64_t counter) const
+{
+    C2M_ASSERT(counter < cfg_.numCounters,
+               "counter index out of range: ", counter);
+    // Ranges differ by at most one column; start from the uniform
+    // guess and walk at most one step each way.
+    const size_t n = numShards();
+    size_t s = static_cast<size_t>(counter) * n / cfg_.numCounters;
+    while (counter < starts_[s])
+        --s;
+    while (counter >= starts_[s + 1])
+        ++s;
+    return static_cast<unsigned>(s);
+}
+
+unsigned
+ShardedEngine::addMask(const std::vector<uint8_t> &mask)
+{
+    C2M_ASSERT(numMasks_ < cfg_.maxMaskRows,
+               "mask rows exhausted; raise maxMaskRows");
+    const unsigned handle = numMasks_++;
+    setMask(handle, mask);
+    return handle;
+}
+
+void
+ShardedEngine::setMask(unsigned handle,
+                       const std::vector<uint8_t> &mask)
+{
+    C2M_ASSERT(handle < numMasks_, "unknown mask handle ", handle);
+    forEachShard([&](C2MEngine &eng, unsigned s) {
+        std::vector<uint8_t> slice(shardWidth(s), 0);
+        const size_t lo = starts_[s];
+        for (size_t c = 0; c < slice.size() && lo + c < mask.size();
+             ++c)
+            slice[c] = mask[lo + c];
+        // Shard handle 0 is the reserved point mask, so logical
+        // handle h lives at shard handle h + 1.
+        if (handle + 1 < eng.numMasks())
+            eng.setMask(handle + 1, slice);
+        else
+            eng.addMask(slice);
+    });
+}
+
+void
+ShardedEngine::runShardBatch(unsigned s,
+                             const std::vector<BatchOp> &ops)
+{
+    C2MEngine &eng = *shards_[s];
+    const size_t lo = starts_[s];
+    for (const auto &op : ops) {
+        const size_t col = static_cast<size_t>(op.counter) - lo;
+        if (pointCol_[s] != col) {
+            std::vector<uint8_t> m(shardWidth(s), 0);
+            m[col] = 1;
+            eng.setMask(kPointMask, m);
+            pointCol_[s] = col;
+        }
+        if (op.value >= 0)
+            eng.accumulate(static_cast<uint64_t>(op.value),
+                           kPointMask, op.group);
+        else
+            eng.accumulateSigned(op.value, kPointMask, op.group);
+    }
+}
+
+void
+ShardedEngine::accumulateBatch(std::span<const BatchOp> ops)
+{
+    std::vector<std::vector<BatchOp>> buckets(numShards());
+    for (const auto &op : ops)
+        buckets[shardOf(op.counter)].push_back(op);
+    for (unsigned s = 0; s < numShards(); ++s) {
+        if (buckets[s].empty())
+            continue;
+        pool_.post(s, [this, s, bucket = std::move(buckets[s])] {
+            runShardBatch(s, bucket);
+        });
+    }
+    pool_.drain();
+}
+
+void
+ShardedEngine::accumulate(uint64_t value, unsigned mask_handle,
+                          unsigned group)
+{
+    C2M_ASSERT(mask_handle < numMasks_, "unknown mask handle ",
+               mask_handle);
+    forEachShard([&](C2MEngine &eng, unsigned) {
+        eng.accumulate(value, mask_handle + 1, group);
+    });
+}
+
+void
+ShardedEngine::accumulateSigned(int64_t value, unsigned mask_handle,
+                                unsigned group)
+{
+    C2M_ASSERT(mask_handle < numMasks_, "unknown mask handle ",
+               mask_handle);
+    forEachShard([&](C2MEngine &eng, unsigned) {
+        eng.accumulateSigned(value, mask_handle + 1, group);
+    });
+}
+
+std::vector<int64_t>
+ShardedEngine::readAllCounters(unsigned group)
+{
+    std::vector<int64_t> out(cfg_.numCounters);
+    forEachShard([&](C2MEngine &eng, unsigned s) {
+        const auto part = eng.readCounters(group);
+        std::copy(part.begin(), part.end(),
+                  out.begin() + static_cast<ptrdiff_t>(starts_[s]));
+    });
+    return out;
+}
+
+void
+ShardedEngine::addCounters(unsigned dst_group, unsigned src_group)
+{
+    forEachShard([&](C2MEngine &eng, unsigned) {
+        eng.addCounters(dst_group, src_group);
+    });
+}
+
+void
+ShardedEngine::relu(unsigned group)
+{
+    forEachShard(
+        [&](C2MEngine &eng, unsigned) { eng.relu(group); });
+}
+
+void
+ShardedEngine::drain(unsigned group)
+{
+    forEachShard(
+        [&](C2MEngine &eng, unsigned) { eng.drain(group); });
+}
+
+void
+ShardedEngine::clear()
+{
+    forEachShard([&](C2MEngine &eng, unsigned) { eng.clear(); });
+}
+
+EngineStats
+ShardedEngine::stats() const
+{
+    EngineStats merged;
+    for (const auto &s : shards_)
+        merged += s->stats();
+    return merged;
+}
+
+Histogram
+countersToHistogram(ShardedEngine &engine, int64_t lo, int64_t hi,
+                    unsigned group)
+{
+    const auto counts = engine.readAllCounters(group);
+    Histogram h(lo, hi);
+    for (size_t i = 0; i < counts.size(); ++i)
+        if (counts[i] > 0)
+            h.add(static_cast<int64_t>(i),
+                  static_cast<uint64_t>(counts[i]));
+    return h;
+}
+
+} // namespace core
+} // namespace c2m

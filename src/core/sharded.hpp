@@ -1,0 +1,153 @@
+#ifndef C2M_CORE_SHARDED_HPP
+#define C2M_CORE_SHARDED_HPP
+
+/**
+ * @file
+ * Sharded batch counting engine.
+ *
+ * A ShardedEngine owns N independent C2MEngine shards. The logical
+ * counter space [0, numCounters) is split into N contiguous column
+ * ranges; each shard simulates only its own (narrower) Ambit
+ * subarray, with its own RNG stream derived from EngineConfig::seed
+ * and its own EngineStats. Shards share no mutable state, so a batch
+ * executes with no locks on the hot path: ops are bucketed per shard
+ * on the host, and each shard's bucket runs FIFO on a fixed
+ * ThreadPool lane.
+ *
+ * Two ingest paths:
+ *  - accumulateBatch(): histogram-style point updates, each routed to
+ *    the single shard owning the target counter. Because that shard's
+ *    subarray holds only 1/N of the columns, every row operation the
+ *    update expands into touches 1/N of the bits — the batch gets
+ *    faster per op as shards are added even on one core, and shards
+ *    run concurrently on top of that.
+ *  - accumulate()/accumulateSigned() with a mask handle: the classic
+ *    broadcast path. Masks registered through addMask() are sliced
+ *    column-wise across shards, and the increment fans out to all
+ *    shards in parallel.
+ *
+ * Results are bit-identical to a single C2MEngine over the full
+ * counter space on the same op stream (columns are independent in the
+ * Ambit simulation), and independent of the thread count: per-shard
+ * op order is fixed by the batch order, not by scheduling.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "core/engine.hpp"
+#include "core/threadpool.hpp"
+
+namespace c2m {
+namespace core {
+
+/** One histogram-style update, routed to the shard owning @p counter. */
+struct BatchOp
+{
+    uint64_t counter;   ///< logical counter index in [0, numCounters)
+    int64_t value;      ///< negative values take the signed path
+    uint32_t group = 0; ///< counter group, as in C2MEngine
+};
+
+class ShardedEngine
+{
+  public:
+    /**
+     * @param cfg logical configuration; cfg.numCounters is the total
+     *        counter count across all shards, cfg.seed the root seed
+     *        from which per-shard streams are split.
+     * @param num_shards shard count (>= 1, <= cfg.numCounters).
+     * @param num_threads pool size; 0 means one thread per shard.
+     */
+    ShardedEngine(const EngineConfig &cfg, unsigned num_shards,
+                  unsigned num_threads = 0);
+
+    const EngineConfig &config() const { return cfg_; }
+    unsigned numShards() const
+    {
+        return static_cast<unsigned>(shards_.size());
+    }
+    size_t numCounters() const { return cfg_.numCounters; }
+
+    C2MEngine &shard(unsigned s) { return *shards_[s]; }
+    /** Shard owning logical counter @p counter. */
+    unsigned shardOf(uint64_t counter) const;
+    /** First logical counter of shard @p s. */
+    size_t shardStart(unsigned s) const { return starts_[s]; }
+    /** Column count of shard @p s. */
+    size_t shardWidth(unsigned s) const
+    {
+        return starts_[s + 1] - starts_[s];
+    }
+
+    /**
+     * Register a mask over the full logical counter space; each shard
+     * receives its column slice. Returns a handle valid for the
+     * broadcast accumulate()/accumulateSigned() calls.
+     */
+    unsigned addMask(const std::vector<uint8_t> &mask);
+    unsigned numMasks() const { return numMasks_; }
+    void setMask(unsigned handle, const std::vector<uint8_t> &mask);
+
+    /** Execute a batch of point updates; returns when all are done. */
+    void accumulateBatch(std::span<const BatchOp> ops);
+
+    /** Broadcast @p value to masked counters on every shard. */
+    void accumulate(uint64_t value, unsigned mask_handle,
+                    unsigned group = 0);
+    void accumulateSigned(int64_t value, unsigned mask_handle,
+                          unsigned group = 0);
+
+    /** Counter values over the full logical space, in logical order. */
+    std::vector<int64_t> readAllCounters(unsigned group = 0);
+
+    // ---- Tensor-style fan-out (each runs on all shards) ----
+    void addCounters(unsigned dst_group, unsigned src_group);
+    void relu(unsigned group);
+    void drain(unsigned group);
+    void clear();
+
+    /** Per-shard stats merged with EngineStats::operator+=. */
+    EngineStats stats() const;
+
+  private:
+    /** Internal mask handle reserved per shard for point updates. */
+    static constexpr unsigned kPointMask = 0;
+
+    void runShardBatch(unsigned s, const std::vector<BatchOp> &ops);
+    /** Run @p fn(shard) on every shard in parallel, then drain. */
+    template <typename Fn> void forEachShard(Fn &&fn);
+
+    EngineConfig cfg_;
+    std::vector<size_t> starts_; ///< numShards+1 range boundaries
+    std::vector<std::unique_ptr<C2MEngine>> shards_;
+    std::vector<size_t> pointCol_; ///< column in shard's point mask
+    unsigned numMasks_ = 0;
+    ThreadPool pool_;
+};
+
+/**
+ * Read group @p group of @p engine into a Histogram over [lo, hi]:
+ * counter i contributes its value as the count of sample i. Counters
+ * outside [lo, hi] land in the under/overflow buckets; zero counters
+ * are skipped.
+ */
+Histogram countersToHistogram(ShardedEngine &engine, int64_t lo,
+                              int64_t hi, unsigned group = 0);
+
+template <typename Fn>
+void
+ShardedEngine::forEachShard(Fn &&fn)
+{
+    for (unsigned s = 0; s < numShards(); ++s)
+        pool_.post(s, [this, s, &fn] { fn(*shards_[s], s); });
+    pool_.drain();
+}
+
+} // namespace core
+} // namespace c2m
+
+#endif // C2M_CORE_SHARDED_HPP

@@ -1,0 +1,90 @@
+#ifndef C2M_CORE_THREADPOOL_HPP
+#define C2M_CORE_THREADPOOL_HPP
+
+/**
+ * @file
+ * Fixed-size thread pool with per-worker (lane) FIFO queues.
+ *
+ * Built for the sharded engine: work for shard s is always posted to
+ * lane s % size(), so tasks touching the same shard are serialized in
+ * post order on a single worker while different shards run on
+ * different workers. No task ever migrates between lanes, which keeps
+ * execution — and therefore simulation results — independent of how
+ * the OS schedules the workers.
+ *
+ * Locks are taken only at enqueue/dequeue; the tasks themselves (the
+ * hot path, whole per-shard batches) run without any shared mutable
+ * state.
+ */
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace c2m {
+namespace core {
+
+class ThreadPool
+{
+  public:
+    /**
+     * @param num_threads worker count; 0 selects inline mode, where
+     *        post() runs the task on the calling thread immediately
+     *        (useful for debugging and for strictly serial baselines).
+     */
+    explicit ThreadPool(unsigned num_threads);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Worker count (0 in inline mode). */
+    unsigned size() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+    /**
+     * Enqueue @p fn on lane @p lane % size(); tasks on one lane run
+     * FIFO. In inline mode the task runs before post() returns.
+     */
+    void post(unsigned lane, std::function<void()> fn);
+
+    /**
+     * Block until every task posted so far has finished. Rethrows the
+     * first exception any task raised since the previous drain().
+     */
+    void drain();
+
+  private:
+    struct Lane
+    {
+        std::mutex m;
+        std::condition_variable cv;
+        std::deque<std::function<void()>> q;
+    };
+
+    void workerLoop(Lane &lane);
+    void runTask(const std::function<void()> &fn);
+    void finishTask();
+
+    std::vector<std::unique_ptr<Lane>> lanes_;
+    std::vector<std::thread> workers_;
+    std::atomic<bool> stop_{false};
+
+    std::mutex doneMutex_;
+    std::condition_variable doneCv_;
+    size_t pending_ = 0;           ///< guarded by doneMutex_
+    std::exception_ptr firstError_; ///< guarded by doneMutex_
+};
+
+} // namespace core
+} // namespace c2m
+
+#endif // C2M_CORE_THREADPOOL_HPP

@@ -4,6 +4,7 @@
 
 #include "common/logging.hpp"
 #include "common/rng.hpp"
+#include "core/sharded.hpp"
 
 namespace c2m {
 namespace workloads {
@@ -90,6 +91,23 @@ DnaWorkload::repetitionHistogram() const
         for (const auto &[token, count] : readTokens(read))
             h.add(count);
     return h;
+}
+
+Histogram
+DnaWorkload::repetitionHistogram(core::ShardedEngine &engine) const
+{
+    const size_t n = engine.numCounters();
+    std::vector<core::BatchOp> ops;
+    for (const auto &read : reads_) {
+        for (const auto &[token, count] : readTokens(read)) {
+            (void)token;
+            C2M_ASSERT(count < n, "repetition count ", count,
+                       " needs more engine counters than ", n);
+            ops.push_back({count, 1, 0});
+        }
+    }
+    engine.accumulateBatch(ops);
+    return core::countersToHistogram(engine, 0, 18);
 }
 
 std::vector<int64_t>

@@ -25,6 +25,10 @@
 #include "common/stats.hpp"
 
 namespace c2m {
+namespace core {
+class ShardedEngine;
+} // namespace core
+
 namespace workloads {
 
 struct DnaConfig
@@ -68,6 +72,16 @@ class DnaWorkload
 
     /** Fig. 3a: token repetition histogram over all reads. */
     Histogram repetitionHistogram() const;
+
+    /**
+     * Same histogram counted in-memory through the sharded batch
+     * engine: counter i accumulates the number of (token,
+     * repetition = i) pairs, one routed point update per pair. The
+     * engine is not cleared first; pass it freshly constructed (or
+     * cleared) and sized so numCounters() exceeds the longest read's
+     * token count.
+     */
+    Histogram repetitionHistogram(core::ShardedEngine &engine) const;
 
     /** Exact (fault-free) per-bin scores of a read. */
     std::vector<int64_t> refScores(const Read &read) const;

@@ -1,9 +1,33 @@
 #include "workloads/sparsity.hpp"
 
+#include "common/logging.hpp"
 #include "common/rng.hpp"
+#include "core/sharded.hpp"
 
 namespace c2m {
 namespace workloads {
+
+namespace {
+
+/** Feed one point update per value and read the counts back. */
+Histogram
+countOccurrences(const std::vector<uint64_t> &values,
+                 core::ShardedEngine &engine)
+{
+    const size_t n = engine.numCounters();
+    std::vector<core::BatchOp> ops;
+    ops.reserve(values.size());
+    for (uint64_t v : values) {
+        C2M_ASSERT(v < n, "value ", v,
+                   " needs more engine counters than ", n);
+        ops.push_back({v, 1, 0});
+    }
+    engine.accumulateBatch(ops);
+    return core::countersToHistogram(engine, 0,
+                                     static_cast<int64_t>(n) - 1);
+}
+
+} // namespace
 
 std::vector<int64_t>
 sparseSignedVector(size_t n, unsigned bits, double sparsity,
@@ -61,6 +85,26 @@ randomBinaryMatrix(size_t rows, size_t cols, double density,
         for (auto &v : row)
             v = rng.nextBool(density) ? 1 : 0;
     return m;
+}
+
+Histogram
+valueHistogram(const std::vector<uint64_t> &values,
+               core::ShardedEngine &engine)
+{
+    return countOccurrences(values, engine);
+}
+
+Histogram
+magnitudeHistogram(const std::vector<int64_t> &values,
+                   core::ShardedEngine &engine)
+{
+    std::vector<uint64_t> mags;
+    mags.reserve(values.size());
+    for (int64_t v : values)
+        // Negate in unsigned arithmetic so INT64_MIN stays defined.
+        mags.push_back(v < 0 ? 0 - static_cast<uint64_t>(v)
+                             : static_cast<uint64_t>(v));
+    return countOccurrences(mags, engine);
 }
 
 } // namespace workloads

@@ -10,7 +10,13 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/stats.hpp"
+
 namespace c2m {
+namespace core {
+class ShardedEngine;
+} // namespace core
+
 namespace workloads {
 
 /** Signed values in [-2^(bits-1), 2^(bits-1)) with given sparsity. */
@@ -34,6 +40,20 @@ std::vector<std::vector<uint8_t>> randomBinaryMatrix(size_t rows,
                                                      size_t cols,
                                                      double density,
                                                      uint64_t seed);
+
+/**
+ * Occurrence histogram of @p values (the Fig. 16 operand
+ * distributions), counted in-memory through the sharded batch
+ * engine: counter v accumulates the number of occurrences of value
+ * v, one routed point update per element. Every value must be below
+ * engine.numCounters(); the engine is used as-is (not cleared).
+ */
+Histogram valueHistogram(const std::vector<uint64_t> &values,
+                         core::ShardedEngine &engine);
+
+/** Same, over |v| of a signed operand vector. */
+Histogram magnitudeHistogram(const std::vector<int64_t> &values,
+                             core::ShardedEngine &engine);
 
 } // namespace workloads
 } // namespace c2m

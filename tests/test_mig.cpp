@@ -165,8 +165,13 @@ TEST(Mig, DeepCompositionEvaluates)
     // Chain of XORs == parity of 6 inputs.
     Mig g;
     std::vector<MigEdge> in;
-    for (int i = 0; i < 6; ++i)
-        in.push_back(g.addInput("x" + std::to_string(i)));
+    for (int i = 0; i < 6; ++i) {
+        // Append-style build; gcc 12 -Wrestrict misfires on rvalue
+        // string operator+ (GCC PR105329).
+        std::string name = "x";
+        name += std::to_string(i);
+        in.push_back(g.addInput(name));
+    }
     MigEdge acc = in[0];
     for (int i = 1; i < 6; ++i)
         acc = g.makeXor(acc, in[i]);

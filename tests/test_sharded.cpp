@@ -1,0 +1,351 @@
+/**
+ * @file
+ * Sharded batch engine tests: shard-vs-single-engine equivalence on
+ * random point-update streams (unsigned, signed, ECC, TMR), sliced
+ * broadcast masks, tensor-op fan-out, determinism across thread
+ * counts, stats merging, and the batched workload histograms.
+ */
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/rng.hpp"
+#include "core/sharded.hpp"
+#include "workloads/dna.hpp"
+#include "workloads/sparsity.hpp"
+
+using namespace c2m;
+using core::BatchOp;
+using core::C2MEngine;
+using core::EngineConfig;
+using core::EngineStats;
+using core::Protection;
+using core::ShardedEngine;
+
+namespace {
+
+EngineConfig
+baseConfig(size_t counters = 64, unsigned radix = 4)
+{
+    EngineConfig cfg;
+    cfg.radix = radix;
+    cfg.capacityBits = 20;
+    cfg.numCounters = counters;
+    cfg.maxMaskRows = 8;
+    return cfg;
+}
+
+std::vector<BatchOp>
+randomOps(size_t n, size_t counters, uint64_t seed,
+          bool with_negatives)
+{
+    Rng rng(seed);
+    std::vector<BatchOp> ops;
+    ops.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+        BatchOp op;
+        op.counter = rng.nextBounded(counters);
+        op.value = static_cast<int64_t>(rng.nextBounded(60));
+        if (with_negatives && rng.nextBool(0.4))
+            op.value = -op.value;
+        op.group = 0;
+        ops.push_back(op);
+    }
+    return ops;
+}
+
+/** Reference: the same op stream on one engine over the full space. */
+std::vector<int64_t>
+runSingle(const EngineConfig &cfg, const std::vector<BatchOp> &ops,
+          unsigned group = 0)
+{
+    C2MEngine eng(cfg);
+    const unsigned h =
+        eng.addMask(std::vector<uint8_t>(cfg.numCounters, 0));
+    size_t current = std::numeric_limits<size_t>::max();
+    for (const auto &op : ops) {
+        if (op.counter != current) {
+            std::vector<uint8_t> mask(cfg.numCounters, 0);
+            mask[op.counter] = 1;
+            eng.setMask(h, mask);
+            current = op.counter;
+        }
+        if (op.value >= 0)
+            eng.accumulate(static_cast<uint64_t>(op.value), h,
+                           op.group);
+        else
+            eng.accumulateSigned(op.value, h, op.group);
+    }
+    return eng.readCounters(group);
+}
+
+} // namespace
+
+class ShardedVsSingle : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(ShardedVsSingle, UnsignedPointStreamMatches)
+{
+    const auto cfg = baseConfig(64, GetParam());
+    const auto ops = randomOps(300, cfg.numCounters, 7, false);
+
+    ShardedEngine sharded(cfg, 4);
+    sharded.accumulateBatch(ops);
+    EXPECT_EQ(sharded.readAllCounters(), runSingle(cfg, ops));
+    EXPECT_EQ(sharded.stats().inputsAccumulated, ops.size());
+}
+
+TEST_P(ShardedVsSingle, SignedPointStreamMatches)
+{
+    const auto cfg = baseConfig(48, GetParam());
+    const auto ops = randomOps(200, cfg.numCounters, 11, true);
+
+    ShardedEngine sharded(cfg, 4);
+    sharded.accumulateBatch(ops);
+    EXPECT_EQ(sharded.readAllCounters(), runSingle(cfg, ops));
+}
+
+INSTANTIATE_TEST_SUITE_P(Radices, ShardedVsSingle,
+                         ::testing::Values(4u, 10u));
+
+TEST(Sharded, EccConfigMatchesFaultFree)
+{
+    auto cfg = baseConfig(32);
+    cfg.protection = Protection::Ecc;
+    const auto ops = randomOps(120, cfg.numCounters, 3, true);
+
+    ShardedEngine sharded(cfg, 4);
+    sharded.accumulateBatch(ops);
+    EXPECT_EQ(sharded.readAllCounters(), runSingle(cfg, ops));
+    EXPECT_GT(sharded.stats().checksRun, 0u);
+    EXPECT_EQ(sharded.stats().faultsDetected, 0u);
+}
+
+TEST(Sharded, TmrConfigMatchesFaultFree)
+{
+    auto cfg = baseConfig(32);
+    cfg.protection = Protection::Tmr;
+    const auto ops = randomOps(100, cfg.numCounters, 5, false);
+
+    ShardedEngine sharded(cfg, 4);
+    sharded.accumulateBatch(ops);
+    EXPECT_EQ(sharded.readAllCounters(), runSingle(cfg, ops));
+    EXPECT_GT(sharded.stats().voteOps, 0u);
+}
+
+TEST(Sharded, UnevenSplitCoversEveryCounter)
+{
+    const auto cfg = baseConfig(67);
+    ShardedEngine sharded(cfg, 4);
+    size_t total = 0;
+    for (unsigned s = 0; s < sharded.numShards(); ++s)
+        total += sharded.shardWidth(s);
+    EXPECT_EQ(total, cfg.numCounters);
+    for (uint64_t c = 0; c < cfg.numCounters; ++c) {
+        const unsigned s = sharded.shardOf(c);
+        EXPECT_GE(c, sharded.shardStart(s));
+        EXPECT_LT(c, sharded.shardStart(s) + sharded.shardWidth(s));
+    }
+
+    const auto ops = randomOps(150, cfg.numCounters, 13, true);
+    ShardedEngine run(cfg, 4);
+    run.accumulateBatch(ops);
+    EXPECT_EQ(run.readAllCounters(), runSingle(cfg, ops));
+}
+
+TEST(Sharded, DeterministicAcrossThreadCounts)
+{
+    const auto cfg = baseConfig(64);
+    const auto ops = randomOps(250, cfg.numCounters, 17, true);
+
+    std::vector<int64_t> reference;
+    EngineStats ref_stats;
+    for (unsigned threads : {1u, 2u, 4u}) {
+        ShardedEngine eng(cfg, 4, threads);
+        eng.accumulateBatch(ops);
+        const auto counters = eng.readAllCounters();
+        const auto st = eng.stats();
+        if (reference.empty()) {
+            reference = counters;
+            ref_stats = st;
+            continue;
+        }
+        EXPECT_EQ(counters, reference) << "threads=" << threads;
+        EXPECT_EQ(st.increments, ref_stats.increments);
+        EXPECT_EQ(st.ripples, ref_stats.ripples);
+        EXPECT_EQ(st.inputsAccumulated, ref_stats.inputsAccumulated);
+    }
+}
+
+TEST(Sharded, BroadcastMaskedAccumulateMatches)
+{
+    const auto cfg = baseConfig(64);
+    Rng rng(23);
+
+    C2MEngine single(cfg);
+    ShardedEngine sharded(cfg, 4);
+    std::vector<unsigned> hs, hd;
+    for (int m = 0; m < 3; ++m) {
+        std::vector<uint8_t> mask(cfg.numCounters);
+        for (auto &b : mask)
+            b = rng.nextBool(0.5);
+        hs.push_back(single.addMask(mask));
+        hd.push_back(sharded.addMask(mask));
+    }
+
+    for (int step = 0; step < 40; ++step) {
+        const uint64_t v = rng.nextBounded(100);
+        const unsigned m = static_cast<unsigned>(rng.nextBounded(3));
+        single.accumulate(v, hs[m]);
+        sharded.accumulate(v, hd[m]);
+    }
+    EXPECT_EQ(sharded.readAllCounters(), single.readCounters());
+
+    // Overwriting a sliced mask keeps the engines in lockstep.
+    std::vector<uint8_t> updated(cfg.numCounters, 1);
+    single.setMask(hs[0], updated);
+    sharded.setMask(hd[0], updated);
+    single.accumulate(9, hs[0]);
+    sharded.accumulate(9, hd[0]);
+    EXPECT_EQ(sharded.readAllCounters(), single.readCounters());
+}
+
+TEST(Sharded, TensorOpFanOutMatchesSingleEngine)
+{
+    auto cfg = baseConfig(32);
+    cfg.numGroups = 2;
+    Rng rng(31);
+
+    C2MEngine single(cfg);
+    ShardedEngine sharded(cfg, 4);
+    std::vector<uint8_t> mask(cfg.numCounters, 1);
+    const unsigned hs = single.addMask(mask);
+    const unsigned hd = sharded.addMask(mask);
+
+    for (int step = 0; step < 10; ++step) {
+        const uint64_t v = 1 + rng.nextBounded(30);
+        single.accumulate(v, hs, 0);
+        sharded.accumulate(v, hd, 0);
+        single.accumulate(v / 2, hs, 1);
+        sharded.accumulate(v / 2, hd, 1);
+    }
+    single.drain(0);
+    sharded.drain(0);
+    single.addCounters(0, 1);
+    sharded.addCounters(0, 1);
+    EXPECT_EQ(sharded.readAllCounters(0), single.readCounters(0));
+
+    // Drive group 1 negative, then relu both.
+    single.accumulateSigned(-1000, hs, 1);
+    sharded.accumulateSigned(-1000, hd, 1);
+    single.relu(1);
+    sharded.relu(1);
+    const auto counters = sharded.readAllCounters(1);
+    EXPECT_EQ(counters, single.readCounters(1));
+    for (int64_t c : counters)
+        EXPECT_GE(c, 0);
+
+    single.clear();
+    sharded.clear();
+    EXPECT_EQ(sharded.readAllCounters(0), single.readCounters(0));
+}
+
+TEST(Sharded, MergedStatsAggregateFaultCounters)
+{
+    auto cfg = baseConfig(64);
+    cfg.protection = Protection::Ecc;
+    cfg.faultRate = 2e-4;
+    const auto ops = randomOps(200, cfg.numCounters, 41, false);
+
+    ShardedEngine sharded(cfg, 4);
+    sharded.accumulateBatch(ops);
+    const auto merged = sharded.stats();
+    EXPECT_EQ(merged.inputsAccumulated, ops.size());
+    EXPECT_GT(merged.checksRun, 0u);
+
+    // The merge equals the field-wise sum over the shards.
+    EngineStats manual;
+    for (unsigned s = 0; s < sharded.numShards(); ++s)
+        manual += sharded.shard(s).stats();
+    EXPECT_EQ(merged.checksRun, manual.checksRun);
+    EXPECT_EQ(merged.faultsDetected, manual.faultsDetected);
+    EXPECT_EQ(merged.retries, manual.retries);
+}
+
+TEST(EngineStatsMerge, SumsEveryField)
+{
+    // A new EngineStats field changes this size and fails here:
+    // extend operator+= and the checks below together.
+    static_assert(sizeof(EngineStats) == 9 * sizeof(uint64_t),
+                  "EngineStats changed; update operator+= and this "
+                  "test");
+
+    EngineStats a{1, 2, 3, 4, 5, 6, 7, 8, 9};
+    const EngineStats b{10, 20, 30, 40, 50, 60, 70, 80, 90};
+    a += b;
+    EXPECT_EQ(a.inputsAccumulated, 11u);
+    EXPECT_EQ(a.increments, 22u);
+    EXPECT_EQ(a.ripples, 33u);
+    EXPECT_EQ(a.checksRun, 44u);
+    EXPECT_EQ(a.faultsDetected, 55u);
+    EXPECT_EQ(a.retries, 66u);
+    EXPECT_EQ(a.uncorrectedBlocks, 77u);
+    EXPECT_EQ(a.invalidStates, 88u);
+    EXPECT_EQ(a.voteOps, 99u);
+}
+
+TEST(ShardedWorkloads, DnaBatchedHistogramMatchesHost)
+{
+    workloads::DnaConfig dcfg;
+    dcfg.genomeLen = 4096;
+    dcfg.binSize = 256;
+    dcfg.numReads = 8;
+    workloads::DnaWorkload dna(dcfg);
+
+    auto ecfg = baseConfig(128);
+    ecfg.capacityBits = 24;
+    ecfg.maxMaskRows = 1;
+    ShardedEngine eng(ecfg, 4);
+
+    const auto host = dna.repetitionHistogram();
+    const auto batched = dna.repetitionHistogram(eng);
+    EXPECT_EQ(batched.total(), host.total());
+    EXPECT_EQ(batched.overflow(), host.overflow());
+    EXPECT_EQ(batched.underflow(), host.underflow());
+    for (int64_t v = 0; v <= 18; ++v)
+        EXPECT_EQ(batched.binCount(v), host.binCount(v))
+            << "bin " << v;
+}
+
+TEST(ShardedWorkloads, SparsityValueHistogramMatchesHost)
+{
+    const unsigned bits = 5; // values in [1, 32)
+    const auto values =
+        workloads::sparseUnsignedVector(600, bits, 0.4, 77);
+
+    auto ecfg = baseConfig(32);
+    ecfg.capacityBits = 16;
+    ecfg.maxMaskRows = 1;
+    ShardedEngine eng(ecfg, 4);
+    const auto h = workloads::valueHistogram(values, eng);
+
+    std::vector<uint64_t> expected(32, 0);
+    for (uint64_t v : values)
+        ++expected[v];
+    EXPECT_EQ(h.total(), values.size());
+    for (int64_t v = 0; v < 32; ++v)
+        EXPECT_EQ(h.binCount(v), expected[static_cast<size_t>(v)])
+            << "value " << v;
+
+    const auto signedv =
+        workloads::sparseSignedVector(400, bits, 0.3, 78);
+    ShardedEngine eng2(ecfg, 4);
+    const auto hm = workloads::magnitudeHistogram(signedv, eng2);
+    std::vector<uint64_t> mexp(32, 0);
+    for (int64_t v : signedv)
+        ++mexp[static_cast<size_t>(v < 0 ? -v : v)];
+    for (int64_t v = 0; v < 32; ++v)
+        EXPECT_EQ(hm.binCount(v), mexp[static_cast<size_t>(v)]);
+}
