@@ -52,7 +52,17 @@ main()
     std::printf("sharded batch scaling: %zu point updates over %zu "
                 "logical counters\n",
                 num_ops, cfg.numCounters);
-    TextTable t({"shards", "time_s", "ops/s", "speedup"});
+    TextTable t({"shards", "time_s", "ops/s", "speedup",
+                 "cache_hit%"});
+    struct Row
+    {
+        unsigned shards;
+        double timeS;
+        double opsPerS;
+        double speedup;
+        double cacheHitFrac;
+    };
+    std::vector<Row> rows;
     double base_ops_per_s = 0.0;
     bool four_shard_ok = false;
     for (unsigned shards : {1u, 2u, 4u, 8u}) {
@@ -73,11 +83,44 @@ main()
         const double speedup = rate / base_ops_per_s;
         if (shards == 4 && speedup > 2.0)
             four_shard_ok = true;
+        const auto st = eng.stats();
+        const uint64_t lookups =
+            st.programCacheHits + st.programCacheMisses;
+        const double hit_frac =
+            lookups ? static_cast<double>(st.programCacheHits) /
+                          static_cast<double>(lookups)
+                    : 0.0;
+        rows.push_back({shards, dt, rate, speedup, hit_frac});
         t.addRow({std::to_string(shards), TextTable::fmt(dt, 3),
-                  TextTable::fmt(rate, 0), TextTable::fmt(speedup, 2)});
+                  TextTable::fmt(rate, 0), TextTable::fmt(speedup, 2),
+                  TextTable::fmt(100.0 * hit_frac, 1)});
     }
     std::printf("%s", t.render().c_str());
     std::printf("4-shard speedup > 2x: %s\n",
                 four_shard_ok ? "yes" : "NO");
+
+    // Machine-readable trail for the perf trajectory (BENCH_sharded
+    // .json next to the working directory the bench runs in).
+    if (std::FILE *f = std::fopen("BENCH_sharded.json", "w")) {
+        std::fprintf(f,
+                     "{\n  \"bench\": \"sharded_scaling\",\n"
+                     "  \"backend\": \"%s\",\n"
+                     "  \"num_ops\": %zu,\n"
+                     "  \"num_counters\": %zu,\n  \"results\": [\n",
+                     core::backendName(cfg.backend), num_ops,
+                     cfg.numCounters);
+        for (size_t i = 0; i < rows.size(); ++i)
+            std::fprintf(f,
+                         "    {\"shards\": %u, \"time_s\": %.6f, "
+                         "\"ops_per_s\": %.1f, \"speedup\": %.3f, "
+                         "\"program_cache_hit_rate\": %.4f}%s\n",
+                         rows[i].shards, rows[i].timeS,
+                         rows[i].opsPerS, rows[i].speedup,
+                         rows[i].cacheHitFrac,
+                         i + 1 < rows.size() ? "," : "");
+        std::fprintf(f, "  ]\n}\n");
+        std::fclose(f);
+        std::printf("wrote BENCH_sharded.json\n");
+    }
     return four_shard_ok ? 0 : 1;
 }

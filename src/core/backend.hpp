@@ -1,0 +1,189 @@
+#ifndef C2M_CORE_BACKEND_HPP
+#define C2M_CORE_BACKEND_HPP
+
+/**
+ * @file
+ * Backend-agnostic counting fabric interface (Sec. 4.6, Sec. 7).
+ *
+ * Count2Multiply is technology-agnostic: any bulk-bitwise substrate
+ * can host the column-parallel counters. A CountingBackend owns the
+ * fabric simulator, the per-physical-group code generators and a
+ * program cache, and exposes the masked counting primitives the
+ * engine schedules:
+ *
+ *  - AmbitBackend: DRAM triple-row-activation fabric; Johnson
+ *    counters, ECC (FR check-and-retry) and TMR voting, plus the
+ *    row-level logic the tensor ops (vector add, ReLU, shift)
+ *    build on.
+ *  - NvmBackend: Pinatubo (non-stateful AND/OR/NOT) or MAGIC
+ *    (stateful NOR-only) machines; Johnson counters, unprotected.
+ *  - RcaBackend: the SIMDRAM-style bit-serial ripple-carry baseline;
+ *    vertical W-bit binary accumulators where a k-ary digit update
+ *    becomes a full-width masked add of k*radix^digit (two's
+ *    complement for decrements), with duplicate-compute ECC.
+ *
+ * Capability flags tell the engine which features a substrate
+ * supports; the engine asserts them before use, so unsupported
+ * configurations fail loudly at construction rather than silently
+ * miscounting. Executed programs are replayed from a per-backend
+ * ProgramCache keyed by (op, physical group, digit, k, mask row);
+ * hit/miss counts surface in EngineStats.
+ */
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/bitvec.hpp"
+#include "core/config.hpp"
+#include "jc/layout.hpp"
+
+namespace c2m {
+
+namespace cim {
+class AmbitSubarray;
+} // namespace cim
+namespace uprog {
+struct CheckedProgram;
+} // namespace uprog
+
+namespace core {
+
+/**
+ * Execute a CheckedProgram on a DRAM fabric: run each block, evaluate
+ * its FR checks (XorOfRows or EqualRows), and re-execute on mismatch
+ * up to @p max_retries times. Check/fault/retry counts accumulate
+ * into @p stats — the one retry policy shared by every DRAM-fabric
+ * backend so EngineStats means the same thing across them.
+ */
+void runCheckedOnSubarray(cim::AmbitSubarray &sub,
+                          const uprog::CheckedProgram &prog,
+                          size_t num_cols, unsigned max_retries,
+                          EngineStats &stats);
+
+/** What a counting substrate can do; asserted by the engine. */
+struct BackendCaps
+{
+    bool eccChecks = false;      ///< FR-checked programs with retry
+    bool tmrVoting = false;      ///< in-fabric replica majority vote
+    bool signedCounting = false; ///< karyDecrement / borrowRipple
+    bool tensorOps = false;      ///< row logic + layouts for vector ops
+    /**
+     * Deferred carries via per-digit pending (Onext) flags. False for
+     * binary accumulators (RCA), where every update resolves its
+     * carries in-place and ripple calls are no-ops.
+     */
+    bool pendingFlags = false;
+};
+
+class CountingBackend
+{
+  public:
+    explicit CountingBackend(EngineStats &stats) : stats_(stats) {}
+    virtual ~CountingBackend() = default;
+
+    CountingBackend(const CountingBackend &) = delete;
+    CountingBackend &operator=(const CountingBackend &) = delete;
+
+    virtual BackendKind kind() const = 0;
+    const BackendCaps &caps() const { return caps_; }
+
+    /** Digits available to the host-side value decomposition. */
+    virtual unsigned numDigits() const = 0;
+
+    // ---- Mask rows ----
+
+    /** Raw backend row index of mask @p handle (usable as mask_row). */
+    virtual unsigned maskRow(unsigned handle) const = 0;
+    virtual void writeMask(unsigned handle, const BitVector &row) = 0;
+
+    // ---- Counting primitives (runChecked-style execution) ----
+
+    /**
+     * Masked k-ary increment of @p digit on physical group @p phys;
+     * counters whose bit in @p mask_row is 0 are unchanged. Protected
+     * backends run the checked program with retry internally.
+     */
+    virtual void karyIncrement(unsigned phys, unsigned digit,
+                               unsigned k, unsigned mask_row) = 0;
+
+    /** Masked k-ary decrement (caps().signedCounting). */
+    virtual void karyDecrement(unsigned phys, unsigned digit,
+                               unsigned k, unsigned mask_row);
+
+    /** Deferred carry ripple at digit boundary @p digit. */
+    virtual void carryRipple(unsigned phys, unsigned digit) = 0;
+
+    /** Borrow ripple (caps().signedCounting). */
+    virtual void borrowRipple(unsigned phys, unsigned digit);
+
+    /** True iff any counter has a pending carry/borrow at @p digit. */
+    virtual bool anyPending(unsigned phys, unsigned digit) = 0;
+
+    /** Osign ^= Onext(top); Onext(top) <- 0 (signed-mode fold). */
+    virtual void foldTopBorrowIntoSign(unsigned phys);
+
+    /**
+     * Majority-vote digit @p digit across three physical replicas
+     * (caps().tmrVoting); adds to EngineStats::voteOps.
+     */
+    virtual void voteDigit(const std::array<unsigned, 3> &phys,
+                           unsigned digit);
+
+    // ---- Readout ----
+
+    /**
+     * Per-column counter values of one physical group, pending
+     * carries (Onext) and sign included. Unreadable JC patterns count
+     * into EngineStats::invalidStates and decode to the nearest valid
+     * state.
+     */
+    virtual std::vector<int64_t> readCounters(unsigned phys) = 0;
+
+    /**
+     * Per-column value of one digit (0..radix-1), excluding pending
+     * flags; resolve pendings first for cross-backend comparisons.
+     */
+    virtual std::vector<unsigned> readDigit(unsigned phys,
+                                            unsigned digit) = 0;
+
+    /** Zero every counter of every physical group. */
+    virtual void clearCounters() = 0;
+
+    // ---- Row-level logic for tensor ops (caps().tensorOps) ----
+
+    /** JC row layout of a physical group (JC backends only). */
+    virtual const jc::CounterLayout &layout(unsigned phys) const;
+
+    virtual void rowCopy(unsigned src, unsigned dst);
+    virtual void rowOr(unsigned a, unsigned b, unsigned dst);
+    /** dst = a AND NOT b. */
+    virtual void rowAndNot(unsigned a, unsigned b, unsigned dst);
+    virtual void rowClear(unsigned row);
+
+    /** Zero all counters of @p phys that are negative (Osign). */
+    virtual void relu(unsigned phys);
+
+    /** Copy all counter state of group @p from onto group @p to. */
+    virtual void copyCounters(unsigned from_phys, unsigned to_phys);
+
+  protected:
+    EngineStats &stats_;
+    BackendCaps caps_;
+};
+
+/**
+ * Build the backend selected by @p cfg.backend with
+ * @p physical_groups counter groups (numGroups x replicas). @p stats
+ * must outlive the backend: check, retry, vote and cache counters are
+ * written into it as programs execute.
+ */
+std::unique_ptr<CountingBackend>
+makeBackend(const EngineConfig &cfg, unsigned physical_groups,
+            EngineStats &stats);
+
+} // namespace core
+} // namespace c2m
+
+#endif // C2M_CORE_BACKEND_HPP

@@ -1,0 +1,220 @@
+#include "core/backend_rca.hpp"
+
+#include "common/logging.hpp"
+#include "dram/subarray.hpp"
+#include "jc/digits.hpp"
+
+namespace c2m {
+namespace core {
+
+using uprog::ProgramKey;
+
+namespace {
+
+/**
+ * Accumulator width: the signed range must cover the JC modulus
+ * radix^D so every value a JC backend can represent reads back
+ * identically.
+ */
+unsigned
+rcaWidth(unsigned radix, unsigned num_digits)
+{
+    unsigned __int128 modulus = 1;
+    for (unsigned d = 0; d < num_digits; ++d)
+        modulus *= radix;
+    unsigned width = 1;
+    while (width < 64 &&
+           (static_cast<unsigned __int128>(1) << (width - 1)) <
+               modulus)
+        ++width;
+    C2M_ASSERT((static_cast<unsigned __int128>(1) << (width - 1)) >=
+                   modulus,
+               "counter capacity exceeds the 64-bit RCA accumulator");
+    return width;
+}
+
+std::vector<uprog::RcaLayout>
+buildRcaLayouts(unsigned width, unsigned physical_groups)
+{
+    std::vector<uprog::RcaLayout> layouts;
+    unsigned base = 0;
+    for (unsigned g = 0; g < physical_groups; ++g) {
+        uprog::RcaLayout l;
+        l.width = width;
+        l.baseRow = base;
+        layouts.push_back(l);
+        base = l.endRow();
+    }
+    return layouts;
+}
+
+} // namespace
+
+RcaBackend::RcaBackend(const EngineConfig &cfg,
+                       unsigned physical_groups, EngineStats &stats)
+    : CountingBackend(stats),
+      numCounters_(cfg.numCounters),
+      maxRetries_(cfg.maxRetries),
+      radix_(cfg.radix),
+      numDigits_(
+          jc::digitsForCapacityBits(cfg.radix, cfg.capacityBits) + 1),
+      width_(rcaWidth(radix_, numDigits_)),
+      widthMask_(width_ == 64 ? ~0ULL : (1ULL << width_) - 1),
+      layouts_(buildRcaLayouts(width_, physical_groups)),
+      maskBase_(layouts_.back().endRow()),
+      sub_(maskBase_ + cfg.maxMaskRows, cfg.numCounters,
+           cim::FaultModel::cimRate(cfg.faultRate), cfg.seed),
+      cache_(cfg.programCache, stats.programCacheHits,
+             stats.programCacheMisses)
+{
+    caps_.eccChecks = true;
+    caps_.signedCounting = true;
+
+    digitWeight_.resize(numDigits_);
+    uint64_t w = 1;
+    for (unsigned d = 0; d < numDigits_; ++d) {
+        digitWeight_[d] = w & widthMask_;
+        w *= radix_;
+    }
+
+    uprog::RcaCodegen::Options opts;
+    opts.protect = cfg.protection == Protection::Ecc;
+    for (const auto &l : layouts_)
+        codegen_.emplace_back(l, opts);
+}
+
+unsigned
+RcaBackend::maskRow(unsigned handle) const
+{
+    return maskBase_ + handle;
+}
+
+void
+RcaBackend::writeMask(unsigned handle, const BitVector &row)
+{
+    sub_.hostWriteRow(maskRow(handle), row);
+}
+
+void
+RcaBackend::runChecked(const uprog::CheckedProgram &prog)
+{
+    runCheckedOnSubarray(sub_, prog, numCounters_, maxRetries_,
+                         stats_);
+}
+
+void
+RcaBackend::maskedAdd(unsigned phys, uint64_t addend,
+                      unsigned mask_row, ProgramKey key)
+{
+    runChecked(cache_.get(key, [&] {
+        return codegen_[phys].maskedAccumulate(addend & widthMask_,
+                                               mask_row);
+    }));
+}
+
+void
+RcaBackend::karyIncrement(unsigned phys, unsigned digit, unsigned k,
+                          unsigned mask_row)
+{
+    C2M_ASSERT(digit < numDigits_ && k >= 1 && k < radix_,
+               "digit/step out of range");
+    maskedAdd(phys, k * digitWeight_[digit], mask_row,
+              ProgramKey{ProgramKey::Op::Increment, phys,
+                         static_cast<uint16_t>(digit),
+                         static_cast<uint16_t>(k), mask_row});
+}
+
+void
+RcaBackend::karyDecrement(unsigned phys, unsigned digit, unsigned k,
+                          unsigned mask_row)
+{
+    C2M_ASSERT(digit < numDigits_ && k >= 1 && k < radix_,
+               "digit/step out of range");
+    maskedAdd(phys, 0 - k * digitWeight_[digit], mask_row,
+              ProgramKey{ProgramKey::Op::Decrement, phys,
+                         static_cast<uint16_t>(digit),
+                         static_cast<uint16_t>(k), mask_row});
+}
+
+void
+RcaBackend::carryRipple(unsigned, unsigned)
+{
+    // Binary adds resolve carries in place; nothing is pending.
+}
+
+void
+RcaBackend::borrowRipple(unsigned, unsigned)
+{
+}
+
+bool
+RcaBackend::anyPending(unsigned, unsigned)
+{
+    return false;
+}
+
+void
+RcaBackend::foldTopBorrowIntoSign(unsigned)
+{
+    // Two's complement carries the sign in the accumulator itself.
+}
+
+std::vector<uint64_t>
+RcaBackend::readRaw(unsigned phys)
+{
+    std::vector<BitVector> rows;
+    rows.reserve(width_);
+    for (unsigned b = 0; b < width_; ++b)
+        rows.push_back(sub_.hostReadRow(layouts_[phys].bitRow(b)));
+    return dram::transposeFromRows(rows, numCounters_);
+}
+
+std::vector<int64_t>
+RcaBackend::readCounters(unsigned phys)
+{
+    const auto raw = readRaw(phys);
+    std::vector<int64_t> out(raw.size());
+    for (size_t i = 0; i < raw.size(); ++i) {
+        uint64_t v = raw[i];
+        if (width_ < 64 && (v >> (width_ - 1)) & 1)
+            v |= ~widthMask_; // sign-extend
+        out[i] = static_cast<int64_t>(v);
+    }
+    return out;
+}
+
+std::vector<unsigned>
+RcaBackend::readDigit(unsigned phys, unsigned digit)
+{
+    C2M_ASSERT(digit < numDigits_, "digit out of range");
+    unsigned __int128 modulus = 1;
+    for (unsigned d = 0; d < numDigits_; ++d)
+        modulus *= radix_;
+    unsigned __int128 weight = 1;
+    for (unsigned d = 0; d < digit; ++d)
+        weight *= radix_;
+    // Reduce the signed value into the JC ring [0, radix^D) so digit
+    // readouts of negative counters match the JC backends even when
+    // radix^D does not divide 2^W (non-power-of-two radixes).
+    const auto values = readCounters(phys);
+    std::vector<unsigned> out(values.size());
+    for (size_t i = 0; i < values.size(); ++i) {
+        __int128 m = static_cast<__int128>(values[i]) %
+                     static_cast<__int128>(modulus);
+        if (m < 0)
+            m += static_cast<__int128>(modulus);
+        out[i] = static_cast<unsigned>(
+            static_cast<unsigned __int128>(m) / weight % radix_);
+    }
+    return out;
+}
+
+void
+RcaBackend::clearCounters()
+{
+    for (unsigned p = 0; p < layouts_.size(); ++p)
+        sub_.run(codegen_[p].clearAccumulators());
+}
+
+} // namespace core
+} // namespace c2m

@@ -1,0 +1,85 @@
+#ifndef C2M_CORE_BACKEND_RCA_HPP
+#define C2M_CORE_BACKEND_RCA_HPP
+
+/**
+ * @file
+ * SIMDRAM-style ripple-carry implementation of the counting backend
+ * (Sec. 3, Sec. 7.1).
+ *
+ * Counters are vertical W-bit two's-complement binary accumulators; a
+ * masked k-ary update of digit d becomes a full-width masked add of
+ * k * radix^d (its two's complement for decrements), rippling a
+ * MAJ3 full adder through all W bit positions regardless of the
+ * addend's magnitude — the cost the paper's high-radix counting
+ * removes. Because every update resolves its carries in place there
+ * are no pending flags: ripple requests are no-ops and the engine
+ * skips IARM scheduling (caps().pendingFlags == false). W is sized so
+ * the signed range covers the Johnson-counter modulus radix^D of an
+ * equally-configured JC backend, making cross-backend readouts
+ * bit-identical in range. Protection: duplicate-compute-and-compare
+ * ECC per MAJ3 step (caps().eccChecks).
+ */
+
+#include "cim/ambit.hpp"
+#include "core/backend.hpp"
+#include "uprog/codegen_rca.hpp"
+#include "uprog/progcache.hpp"
+
+namespace c2m {
+namespace core {
+
+class RcaBackend final : public CountingBackend
+{
+  public:
+    RcaBackend(const EngineConfig &cfg, unsigned physical_groups,
+               EngineStats &stats);
+
+    BackendKind kind() const override { return BackendKind::Rca; }
+    unsigned numDigits() const override { return numDigits_; }
+    /** Accumulator width W in bits. */
+    unsigned width() const { return width_; }
+
+    unsigned maskRow(unsigned handle) const override;
+    void writeMask(unsigned handle, const BitVector &row) override;
+
+    void karyIncrement(unsigned phys, unsigned digit, unsigned k,
+                       unsigned mask_row) override;
+    void karyDecrement(unsigned phys, unsigned digit, unsigned k,
+                       unsigned mask_row) override;
+    void carryRipple(unsigned phys, unsigned digit) override;
+    void borrowRipple(unsigned phys, unsigned digit) override;
+    bool anyPending(unsigned phys, unsigned digit) override;
+    void foldTopBorrowIntoSign(unsigned phys) override;
+
+    std::vector<int64_t> readCounters(unsigned phys) override;
+    std::vector<unsigned> readDigit(unsigned phys,
+                                    unsigned digit) override;
+    void clearCounters() override;
+
+    /** The underlying fabric simulator (white-box tests, op stats). */
+    cim::AmbitSubarray &subarray() { return sub_; }
+
+  private:
+    void runChecked(const uprog::CheckedProgram &prog);
+    void maskedAdd(unsigned phys, uint64_t addend, unsigned mask_row,
+                   uprog::ProgramKey key);
+    std::vector<uint64_t> readRaw(unsigned phys);
+
+    size_t numCounters_;
+    unsigned maxRetries_;
+    unsigned radix_;
+    unsigned numDigits_;
+    unsigned width_;
+    uint64_t widthMask_;
+    std::vector<uint64_t> digitWeight_; ///< radix^d mod 2^W
+    std::vector<uprog::RcaLayout> layouts_;
+    std::vector<uprog::RcaCodegen> codegen_;
+    unsigned maskBase_;
+    cim::AmbitSubarray sub_;
+    uprog::ProgramCache<uprog::CheckedProgram> cache_;
+};
+
+} // namespace core
+} // namespace c2m
+
+#endif // C2M_CORE_BACKEND_RCA_HPP

@@ -1,0 +1,116 @@
+#ifndef C2M_CORE_CONFIG_HPP
+#define C2M_CORE_CONFIG_HPP
+
+/**
+ * @file
+ * Engine-level configuration and statistics shared by C2MEngine, the
+ * counting backends and the sharded engine.
+ *
+ * The counting substrate is selected by EngineConfig::backend: the
+ * same host-side engine (digit unpacking, IARM scheduling, dual-rail
+ * groups) drives an Ambit DRAM subarray, a Pinatubo/MAGIC NVM
+ * machine, or the SIMDRAM-style ripple-carry baseline through one
+ * core::CountingBackend interface (Sec. 4.6, Sec. 7).
+ */
+
+#include <cstddef>
+#include <cstdint>
+
+namespace c2m {
+namespace core {
+
+enum class Protection : uint8_t
+{
+    None, ///< raw CIM
+    Ecc,  ///< XOR-embedded FR checks with retry (Sec. 6)
+    Tmr,  ///< triple modular redundancy with majority vote
+};
+
+enum class RippleMode : uint8_t
+{
+    Iarm,       ///< input-aware rippling minimization (Sec. 4.5.2)
+    FullRipple, ///< full carry propagation after every input
+};
+
+enum class CountMode : uint8_t
+{
+    Kary, ///< one increment per non-zero digit (Sec. 4.5.1)
+    Unit, ///< d unit increments per digit value d (Sec. 4.4)
+};
+
+/** Counting substrate driven through core::CountingBackend. */
+enum class BackendKind : uint8_t
+{
+    Ambit,       ///< DRAM triple-row-activation fabric (Sec. 4)
+    NvmPinatubo, ///< non-stateful NVM bulk-bitwise logic (Fig. 10a)
+    NvmMagic,    ///< stateful NOR-only memristor logic (Fig. 10b)
+    Rca,         ///< SIMDRAM-style W-bit ripple-carry adder (Sec. 3)
+};
+
+/** Human-readable backend name ("ambit", "nvm-pinatubo", ...). */
+const char *backendName(BackendKind kind);
+
+struct EngineConfig
+{
+    unsigned radix = 4;
+    unsigned capacityBits = 32;
+    size_t numCounters = 256;
+    unsigned numGroups = 1;
+    unsigned maxMaskRows = 64;
+    Protection protection = Protection::None;
+    unsigned frChecks = 1;   ///< FR computations per masking step
+    unsigned maxRetries = 4; ///< re-executions before giving up
+    RippleMode ripple = RippleMode::Iarm;
+    CountMode counting = CountMode::Kary;
+    double faultRate = 0.0;  ///< per-bit MAJ3 fault probability
+    uint64_t seed = 1;
+    BackendKind backend = BackendKind::Ambit;
+    /**
+     * Cache generated muPrograms per (op, digit, k, mask row) and
+     * replay them, removing the fixed codegen cost from the batch hot
+     * path. Replayed programs are bit-identical to regeneration.
+     */
+    bool programCache = true;
+};
+
+struct EngineStats
+{
+    uint64_t inputsAccumulated = 0;
+    uint64_t increments = 0;
+    uint64_t ripples = 0;
+    uint64_t checksRun = 0;
+    uint64_t faultsDetected = 0;
+    uint64_t retries = 0;
+    uint64_t uncorrectedBlocks = 0;
+    uint64_t invalidStates = 0; ///< unreadable JC patterns at readout
+    uint64_t voteOps = 0;
+    uint64_t programCacheHits = 0;   ///< programs replayed from cache
+    uint64_t programCacheMisses = 0; ///< programs generated fresh
+
+    /**
+     * Field-wise sum, used to merge per-shard stats into one view.
+     * When adding a field above, extend this too — the
+     * EngineStatsMerge test pins sizeof(EngineStats) so a new field
+     * cannot be silently dropped from the merge.
+     */
+    EngineStats &operator+=(const EngineStats &o)
+    {
+        inputsAccumulated += o.inputsAccumulated;
+        increments += o.increments;
+        ripples += o.ripples;
+        checksRun += o.checksRun;
+        faultsDetected += o.faultsDetected;
+        retries += o.retries;
+        uncorrectedBlocks += o.uncorrectedBlocks;
+        invalidStates += o.invalidStates;
+        voteOps += o.voteOps;
+        programCacheHits += o.programCacheHits;
+        programCacheMisses += o.programCacheMisses;
+        return *this;
+    }
+};
+
+} // namespace core
+} // namespace c2m
+
+#endif // C2M_CORE_CONFIG_HPP

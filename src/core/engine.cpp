@@ -1,6 +1,8 @@
 #include "core/engine.hpp"
 
 #include "common/logging.hpp"
+#include "core/backend_ambit.hpp"
+#include "core/backend_rca.hpp"
 #include "dram/subarray.hpp"
 #include "jc/digits.hpp"
 #include "jc/johnson.hpp"
@@ -8,58 +10,52 @@
 namespace c2m {
 namespace core {
 
-using cim::RowRef;
-using cim::RowSet;
-
-namespace {
-
-std::vector<jc::CounterLayout>
-buildLayouts(const EngineConfig &cfg, unsigned physical_groups)
-{
-    std::vector<jc::CounterLayout> layouts;
-    unsigned base = 0;
-    for (unsigned g = 0; g < physical_groups; ++g) {
-        layouts.emplace_back(cfg.radix, cfg.capacityBits, base);
-        base = layouts.back().endRow();
-    }
-    return layouts;
-}
-
-} // namespace
-
 C2MEngine::C2MEngine(const EngineConfig &cfg)
     : cfg_(cfg),
       bitsPerDigit_(jc::bitsForRadix(cfg.radix)),
-      layouts_(buildLayouts(cfg, cfg.numGroups *
-                                     (cfg.protection == Protection::Tmr
-                                          ? 3u
-                                          : 1u))),
-      maskBase_(layouts_.back().endRow()),
-      sub_(maskBase_ + cfg.maxMaskRows, cfg.numCounters,
-           cim::FaultModel::cimRate(cfg.faultRate), cfg.seed)
+      backend_(makeBackend(
+          cfg,
+          cfg.numGroups *
+              (cfg.protection == Protection::Tmr ? 3u : 1u),
+          stats_))
 {
     C2M_ASSERT(cfg.numGroups >= 1, "need at least one counter group");
     C2M_ASSERT(!(cfg.protection == Protection::Ecc) ||
                    (cfg.frChecks >= 1 && cfg.frChecks <= 3),
                "frChecks must be in 1..3");
-
-    uprog::CodegenOptions copts;
-    copts.protect = cfg.protection == Protection::Ecc;
-    copts.frChecks = cfg.frChecks;
-    for (const auto &l : layouts_)
-        codegen_.emplace_back(l, copts);
+    C2M_ASSERT(cfg.protection != Protection::Ecc ||
+                   backend_->caps().eccChecks,
+               backendName(cfg.backend),
+               " backend does not support ECC protection");
+    C2M_ASSERT(cfg.protection != Protection::Tmr ||
+                   backend_->caps().tmrVoting,
+               backendName(cfg.backend),
+               " backend does not support TMR protection");
 
     for (unsigned g = 0; g < cfg.numGroups; ++g)
-        schedulers_.emplace_back(cfg.radix, layouts_[0].numDigits());
+        schedulers_.emplace_back(cfg.radix, backend_->numDigits());
     groupHasDecrements_.assign(cfg.numGroups, false);
 
     clear();
 }
 
+C2MEngine::~C2MEngine() = default;
+
+cim::AmbitSubarray &
+C2MEngine::subarray()
+{
+    if (auto *ambit = dynamic_cast<AmbitBackend *>(backend_.get()))
+        return ambit->subarray();
+    if (auto *rca = dynamic_cast<RcaBackend *>(backend_.get()))
+        return rca->subarray();
+    C2M_PANIC(backendName(cfg_.backend),
+              " backend is not a DRAM fabric; no subarray");
+}
+
 const jc::CounterLayout &
 C2MEngine::layout(unsigned group) const
 {
-    return layouts_[physIndex(group, 0)];
+    return backend_->layout(physIndex(group, 0));
 }
 
 unsigned
@@ -74,7 +70,7 @@ unsigned
 C2MEngine::maskRowIndex(unsigned handle) const
 {
     C2M_ASSERT(handle < numMasks_, "unknown mask handle ", handle);
-    return maskBase_ + handle;
+    return backend_->maskRow(handle);
 }
 
 unsigned
@@ -90,93 +86,26 @@ C2MEngine::addMask(const std::vector<uint8_t> &mask)
 void
 C2MEngine::setMask(unsigned handle, const std::vector<uint8_t> &mask)
 {
-    sub_.hostWriteRow(maskRowIndex(handle),
-                      dram::maskRow(mask, cfg_.numCounters));
+    C2M_ASSERT(handle < numMasks_, "unknown mask handle ", handle);
+    backend_->writeMask(handle,
+                        dram::maskRow(mask, cfg_.numCounters));
 }
 
 void
 C2MEngine::clear()
 {
-    for (unsigned p = 0; p < layouts_.size(); ++p)
-        sub_.run(codegen_[p].clearCounters());
+    backend_->clearCounters();
     for (auto &s : schedulers_)
-        s = jc::IarmScheduler(cfg_.radix, layouts_[0].numDigits());
+        s = jc::IarmScheduler(cfg_.radix, backend_->numDigits());
     groupHasDecrements_.assign(cfg_.numGroups, false);
-}
-
-void
-C2MEngine::runChecked(const uprog::CheckedProgram &prog)
-{
-    for (const auto &block : prog.blocks) {
-        unsigned attempt = 0;
-        for (;;) {
-            sub_.run(block.prog);
-            if (block.checks.empty())
-                break;
-
-            bool mismatch = false;
-            for (const auto &chk : block.checks) {
-                ++stats_.checksRun;
-                const BitVector &fr = sub_.hostReadRow(chk.frRow);
-                if (chk.mode == uprog::FrCheck::Mode::EqualRows) {
-                    if (fr != sub_.hostReadRow(chk.rowA))
-                        mismatch = true;
-                    continue;
-                }
-                BitVector a(cfg_.numCounters);
-                a.copyFrom(sub_.hostReadRow(chk.rowA));
-                if (chk.aNeg)
-                    a.invert();
-                BitVector b(cfg_.numCounters);
-                b.copyFrom(sub_.hostReadRow(chk.rowB));
-                if (chk.bNeg)
-                    b.invert();
-                BitVector expect(cfg_.numCounters);
-                expect.assignXor(a, b);
-                if (fr != expect)
-                    mismatch = true;
-            }
-            if (!mismatch)
-                break;
-
-            ++stats_.faultsDetected;
-            if (attempt++ >= cfg_.maxRetries) {
-                ++stats_.uncorrectedBlocks;
-                break;
-            }
-            ++stats_.retries;
-        }
-    }
-}
-
-void
-C2MEngine::voteRows(const std::vector<unsigned> &rows)
-{
-    C2M_ASSERT(rows.size() == 3, "vote needs three replica rows");
-    cim::AmbitProgram p;
-    p.aap(RowRef::data(rows[0]), RowRef::t(0));
-    p.aap(RowRef::data(rows[1]), RowRef::t(1));
-    p.aap(RowRef::data(rows[2]), RowRef::t(2));
-    p.aap(RowSet::b12(), RowSet{RowRef::data(rows[0]),
-                                RowRef::data(rows[1]),
-                                RowRef::data(rows[2])});
-    sub_.run(p);
-    stats_.voteOps += p.size();
 }
 
 void
 C2MEngine::voteDigit(unsigned group, unsigned digit)
 {
-    const unsigned n = bitsPerDigit_;
-    for (unsigned i = 0; i <= n; ++i) {
-        std::vector<unsigned> rows;
-        for (unsigned r = 0; r < 3; ++r) {
-            const auto &l = layouts_[physIndex(group, r)];
-            rows.push_back(i < n ? l.bitRow(digit, i)
-                                 : l.onextRow(digit));
-        }
-        voteRows(rows);
-    }
+    backend_->voteDigit({physIndex(group, 0), physIndex(group, 1),
+                         physIndex(group, 2)},
+                        digit);
 }
 
 void
@@ -184,8 +113,8 @@ C2MEngine::incrementDigit(unsigned group, unsigned digit, unsigned k,
                           unsigned mask_row)
 {
     for (unsigned r = 0; r < replicas(); ++r)
-        runChecked(codegen_[physIndex(group, r)].karyIncrement(
-            digit, k, mask_row));
+        backend_->karyIncrement(physIndex(group, r), digit, k,
+                                mask_row);
     if (cfg_.protection == Protection::Tmr)
         voteDigit(group, digit);
     ++stats_.increments;
@@ -196,8 +125,8 @@ C2MEngine::decrementDigit(unsigned group, unsigned digit, unsigned k,
                           unsigned mask_row)
 {
     for (unsigned r = 0; r < replicas(); ++r)
-        runChecked(codegen_[physIndex(group, r)].karyDecrement(
-            digit, k, mask_row));
+        backend_->karyDecrement(physIndex(group, r), digit, k,
+                                mask_row);
     if (cfg_.protection == Protection::Tmr)
         voteDigit(group, digit);
     ++stats_.increments;
@@ -207,7 +136,17 @@ void
 C2MEngine::ripple(unsigned group, unsigned digit)
 {
     for (unsigned r = 0; r < replicas(); ++r)
-        runChecked(codegen_[physIndex(group, r)].carryRipple(digit));
+        backend_->carryRipple(physIndex(group, r), digit);
+    if (cfg_.protection == Protection::Tmr)
+        voteDigit(group, digit + 1);
+    ++stats_.ripples;
+}
+
+void
+C2MEngine::borrowRipple(unsigned group, unsigned digit)
+{
+    for (unsigned r = 0; r < replicas(); ++r)
+        backend_->borrowRipple(physIndex(group, r), digit);
     if (cfg_.protection == Protection::Tmr)
         voteDigit(group, digit + 1);
     ++stats_.ripples;
@@ -224,13 +163,14 @@ C2MEngine::accumulate(uint64_t value, unsigned mask_handle,
     }
     const unsigned mask_row = maskRowIndex(mask_handle);
     const auto digits = jc::toDigits(value, cfg_.radix);
-    C2M_ASSERT(digits.size() < layouts_[0].numDigits(),
+    C2M_ASSERT(digits.size() < backend_->numDigits(),
                "value exceeds counter capacity");
 
+    const bool pending = backend_->caps().pendingFlags;
     auto &sched = schedulers_[group];
     const bool signed_mode = groupHasDecrements_[group];
 
-    if (!signed_mode) {
+    if (pending && !signed_mode) {
         for (unsigned d : sched.prepareAdd(digits))
             ripple(group, d);
         sched.applyAdd(digits);
@@ -248,7 +188,9 @@ C2MEngine::accumulate(uint64_t value, unsigned mask_handle,
         }
     }
 
-    if (signed_mode) {
+    if (!pending) {
+        // In-place carry substrates (RCA) resolve everything per add.
+    } else if (signed_mode) {
         // Signed groups keep Onext fully resolved so the flag's
         // meaning (overflow vs borrow) can switch per input.
         resolveAllPendings(group, /*borrows=*/false);
@@ -269,6 +211,9 @@ C2MEngine::accumulateSigned(int64_t value, unsigned mask_handle,
         accumulate(static_cast<uint64_t>(value), mask_handle, group);
         return;
     }
+    C2M_ASSERT(backend_->caps().signedCounting,
+               backendName(cfg_.backend),
+               " backend does not support signed counting");
 
     // First decrement on this group: resolve outstanding overflows
     // (Sec. 4.4) and enter full-resolution signed mode.
@@ -280,7 +225,7 @@ C2MEngine::accumulateSigned(int64_t value, unsigned mask_handle,
     const unsigned mask_row = maskRowIndex(mask_handle);
     const auto digits =
         jc::toDigits(static_cast<uint64_t>(-value), cfg_.radix);
-    C2M_ASSERT(digits.size() < layouts_[0].numDigits(),
+    C2M_ASSERT(digits.size() < backend_->numDigits(),
                "value exceeds counter capacity");
 
     for (unsigned pos = 0; pos < digits.size(); ++pos) {
@@ -288,18 +233,9 @@ C2MEngine::accumulateSigned(int64_t value, unsigned mask_handle,
             continue;
         decrementDigit(group, pos, digits[pos], mask_row);
     }
-    resolveAllPendings(group, /*borrows=*/true);
+    if (backend_->caps().pendingFlags)
+        resolveAllPendings(group, /*borrows=*/true);
     ++stats_.inputsAccumulated;
-}
-
-void
-C2MEngine::borrowRipple(unsigned group, unsigned digit)
-{
-    for (unsigned r = 0; r < replicas(); ++r)
-        runChecked(codegen_[physIndex(group, r)].borrowRipple(digit));
-    if (cfg_.protection == Protection::Tmr)
-        voteDigit(group, digit + 1);
-    ++stats_.ripples;
 }
 
 void
@@ -309,12 +245,12 @@ C2MEngine::resolveAllPendings(unsigned group, bool borrows)
     // lands in a just-cleared digit (no flag is ever double-set);
     // each pass moves fresh pendings one digit up, so at most D
     // passes fully drain them into Osign.
-    const unsigned D = layouts_[0].numDigits();
-    const auto &l0 = layouts_[physIndex(group, 0)];
+    const unsigned D = backend_->numDigits();
+    const unsigned phys0 = physIndex(group, 0);
     for (unsigned pass = 0; pass < D; ++pass) {
         bool any = false;
         for (unsigned d = D - 1; d-- > 0;) {
-            if (sub_.peekRow(l0.onextRow(d)).popcount() == 0)
+            if (!backend_->anyPending(phys0, d))
                 continue;
             any = true;
             if (borrows)
@@ -322,36 +258,18 @@ C2MEngine::resolveAllPendings(unsigned group, bool borrows)
             else
                 ripple(group, d);
         }
-        foldTopBorrowIntoSign(group);
+        for (unsigned r = 0; r < replicas(); ++r)
+            backend_->foldTopBorrowIntoSign(physIndex(group, r));
         if (!any)
             break;
     }
 }
 
 void
-C2MEngine::foldTopBorrowIntoSign(unsigned group)
-{
-    // Osign ^= Onext(top); Onext(top) <- 0. An overflow back across
-    // zero cancels a pending sign, so XOR is the correct fold.
-    for (unsigned r = 0; r < replicas(); ++r) {
-        const auto &l = layouts_[physIndex(group, r)];
-        const unsigned top = l.numDigits() - 1;
-        cim::AmbitProgram p;
-        const unsigned s0 = l.scratchRow(2);
-        const unsigned s1 = l.scratchRow(3);
-        uprog::AmbitCodegen::emitAndNot(p, l.osignRow(),
-                                        l.onextRow(top), s0);
-        uprog::AmbitCodegen::emitAndNot(p, l.onextRow(top),
-                                        l.osignRow(), s1);
-        uprog::AmbitCodegen::emitOr(p, s0, s1, l.osignRow());
-        p.aap(RowRef::c0(), RowRef::data(l.onextRow(top)));
-        sub_.run(p);
-    }
-}
-
-void
 C2MEngine::drain(unsigned group)
 {
+    if (!backend_->caps().pendingFlags)
+        return;
     for (unsigned d : schedulers_[group].drain())
         ripple(group, d);
 }
@@ -359,55 +277,15 @@ C2MEngine::drain(unsigned group)
 std::vector<int64_t>
 C2MEngine::readCounters(unsigned group)
 {
-    const auto &l = layouts_[physIndex(group, 0)];
-    const unsigned n = bitsPerDigit_;
-    const unsigned D = l.numDigits();
-    const unsigned R = cfg_.radix;
-
-    // Snapshot all rows once.
-    std::vector<const BitVector *> bit_rows(D * n);
-    std::vector<const BitVector *> onext_rows(D);
-    for (unsigned dd = 0; dd < D; ++dd) {
-        for (unsigned i = 0; i < n; ++i)
-            bit_rows[dd * n + i] = &sub_.hostReadRow(l.bitRow(dd, i));
-        onext_rows[dd] = &sub_.hostReadRow(l.onextRow(dd));
-    }
-    const BitVector &osign = sub_.hostReadRow(l.osignRow());
-
-    __int128 modulus = 1;
-    for (unsigned dd = 0; dd < D; ++dd)
-        modulus *= R;
-
-    std::vector<int64_t> out(cfg_.numCounters);
-    for (size_t col = 0; col < cfg_.numCounters; ++col) {
-        __int128 value = 0;
-        __int128 weight = 1;
-        for (unsigned dd = 0; dd < D; ++dd) {
-            uint64_t bits = 0;
-            for (unsigned i = 0; i < n; ++i)
-                if (bit_rows[dd * n + i]->get(col))
-                    bits |= 1ULL << i;
-            int v = jc::decode(n, bits);
-            if (v < 0) {
-                ++stats_.invalidStates;
-                v = static_cast<int>(jc::decodeNearest(n, bits));
-            }
-            __int128 digit_val = v;
-            if (onext_rows[dd]->get(col))
-                digit_val += R;
-            value += digit_val * weight;
-            weight *= R;
-        }
-        if (osign.get(col))
-            value -= modulus;
-        out[col] = static_cast<int64_t>(value);
-    }
-    return out;
+    return backend_->readCounters(physIndex(group, 0));
 }
 
 void
 C2MEngine::addCounters(unsigned dst_group, unsigned src_group)
 {
+    C2M_ASSERT(backend_->caps().tensorOps,
+               backendName(cfg_.backend),
+               " backend does not support tensor ops");
     C2M_ASSERT(dst_group != src_group,
                "in-place doubling needs shiftLeft with a spare group");
     C2M_ASSERT(!groupHasDecrements_[src_group] &&
@@ -416,8 +294,8 @@ C2MEngine::addCounters(unsigned dst_group, unsigned src_group)
     drain(src_group);
     drain(dst_group);
 
-    const auto &src = layouts_[physIndex(src_group, 0)];
-    const auto &dst0 = layouts_[physIndex(dst_group, 0)];
+    const auto &src = backend_->layout(physIndex(src_group, 0));
+    const auto &dst0 = backend_->layout(physIndex(dst_group, 0));
     const unsigned n = bitsPerDigit_;
     const unsigned theta = dst0.scratchRow(2);
     const unsigned mrow = dst0.scratchRow(3);
@@ -437,34 +315,25 @@ C2MEngine::addCounters(unsigned dst_group, unsigned src_group)
         // Theta <- src MSB; first pass uses mask = bit OR Theta from
         // the MSB down, second pass mask = Theta AND NOT bit from the
         // LSB up (Alg. 2 with Theta updated in both passes).
-        cim::AmbitProgram init;
-        uprog::AmbitCodegen::emitCopy(init, src.bitRow(dd, n - 1),
-                                      theta);
-        sub_.run(init);
+        backend_->rowCopy(src.bitRow(dd, n - 1), theta);
 
         for (unsigned b = n; b-- > 0;) {
-            cim::AmbitProgram mk;
-            uprog::AmbitCodegen::emitOr(mk, src.bitRow(dd, b), theta,
-                                        mrow);
-            uprog::AmbitCodegen::emitCopy(mk, mrow, theta);
-            sub_.run(mk);
+            backend_->rowOr(src.bitRow(dd, b), theta, mrow);
+            backend_->rowCopy(mrow, theta);
             // Use the raw mask row (it is not a registered handle).
             for (unsigned r = 0; r < replicas(); ++r)
-                runChecked(codegen_[physIndex(dst_group, r)]
-                               .karyIncrement(dd, 1, mrow));
+                backend_->karyIncrement(physIndex(dst_group, r), dd,
+                                        1, mrow);
             if (cfg_.protection == Protection::Tmr)
                 voteDigit(dst_group, dd);
             ++stats_.increments;
         }
         for (unsigned b = 0; b < n; ++b) {
-            cim::AmbitProgram mk;
-            uprog::AmbitCodegen::emitAndNot(mk, theta,
-                                            src.bitRow(dd, b), mrow);
-            uprog::AmbitCodegen::emitCopy(mk, mrow, theta);
-            sub_.run(mk);
+            backend_->rowAndNot(theta, src.bitRow(dd, b), mrow);
+            backend_->rowCopy(mrow, theta);
             for (unsigned r = 0; r < replicas(); ++r)
-                runChecked(codegen_[physIndex(dst_group, r)]
-                               .karyIncrement(dd, 1, mrow));
+                backend_->karyIncrement(physIndex(dst_group, r), dd,
+                                        1, mrow);
             if (cfg_.protection == Protection::Tmr)
                 voteDigit(dst_group, dd);
             ++stats_.increments;
@@ -477,44 +346,27 @@ C2MEngine::addCounters(unsigned dst_group, unsigned src_group)
 void
 C2MEngine::relu(unsigned group)
 {
-    for (unsigned r = 0; r < replicas(); ++r) {
-        const auto &l = layouts_[physIndex(group, r)];
-        cim::AmbitProgram p;
-        for (unsigned dd = 0; dd < l.numDigits(); ++dd) {
-            for (unsigned i = 0; i < bitsPerDigit_; ++i)
-                uprog::AmbitCodegen::emitAndNot(
-                    p, l.bitRow(dd, i), l.osignRow(), l.bitRow(dd, i));
-            uprog::AmbitCodegen::emitAndNot(
-                p, l.onextRow(dd), l.osignRow(), l.onextRow(dd));
-        }
-        p.aap(RowRef::c0(), RowRef::data(l.osignRow()));
-        sub_.run(p);
-    }
+    C2M_ASSERT(backend_->caps().tensorOps,
+               backendName(cfg_.backend),
+               " backend does not support tensor ops");
+    for (unsigned r = 0; r < replicas(); ++r)
+        backend_->relu(physIndex(group, r));
 }
 
 void
 C2MEngine::shiftLeft(unsigned group, unsigned spare_group,
                      unsigned amount)
 {
+    C2M_ASSERT(backend_->caps().tensorOps,
+               backendName(cfg_.backend),
+               " backend does not support tensor ops");
     C2M_ASSERT(spare_group != group, "spare must differ from group");
     for (unsigned step = 0; step < amount; ++step) {
         drain(group);
         // spare <- group (row copies), then group += spare.
-        for (unsigned r = 0; r < replicas(); ++r) {
-            const auto &from = layouts_[physIndex(group, r)];
-            const auto &to = layouts_[physIndex(spare_group, r)];
-            cim::AmbitProgram p;
-            for (unsigned dd = 0; dd < from.numDigits(); ++dd) {
-                for (unsigned i = 0; i < bitsPerDigit_; ++i)
-                    uprog::AmbitCodegen::emitCopy(
-                        p, from.bitRow(dd, i), to.bitRow(dd, i));
-                uprog::AmbitCodegen::emitCopy(p, from.onextRow(dd),
-                                              to.onextRow(dd));
-            }
-            uprog::AmbitCodegen::emitCopy(p, from.osignRow(),
-                                          to.osignRow());
-            sub_.run(p);
-        }
+        for (unsigned r = 0; r < replicas(); ++r)
+            backend_->copyCounters(physIndex(group, r),
+                                   physIndex(spare_group, r));
         schedulers_[spare_group] = schedulers_[group];
         addCounters(group, spare_group);
     }

@@ -5,13 +5,17 @@
  * @file
  * The Count2Multiply execution engine (Sec. 5).
  *
- * One engine instance owns a functional Ambit subarray holding one or
- * more groups of column-parallel multi-digit Johnson counters plus
- * the mask rows of the stationary operand Z. The host-side routine
+ * One engine instance owns a counting backend (EngineConfig::backend:
+ * Ambit DRAM, Pinatubo/MAGIC NVM, or the SIMDRAM-style RCA baseline)
+ * holding one or more groups of column-parallel counters plus the
+ * mask rows of the stationary operand Z. The host-side routine
  * converts each streamed input value into k-ary increment muPrograms
  * (digit unpacking, Sec. 5.1), schedules deferred carry rippling with
- * IARM (Sec. 4.5.2), and executes the ECC-protected variants with
- * check-and-retry when protection is enabled (Sec. 6).
+ * IARM (Sec. 4.5.2) on substrates with pending flags, and relies on
+ * the backend's checked execution (check-and-retry, in-fabric voting)
+ * when protection is enabled (Sec. 6). Which protection and tensor
+ * features a substrate offers is advertised through BackendCaps and
+ * asserted at configuration time.
  *
  * Counter groups:
  *  - kernels needing signed results use two groups dual-rail
@@ -23,94 +27,38 @@
  */
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "cim/ambit.hpp"
-#include "cim/fault.hpp"
+#include "core/backend.hpp"
+#include "core/config.hpp"
 #include "jc/iarm.hpp"
 #include "jc/layout.hpp"
-#include "uprog/codegen_ambit.hpp"
-#include "uprog/microop.hpp"
 
 namespace c2m {
 namespace core {
-
-enum class Protection : uint8_t
-{
-    None, ///< raw CIM
-    Ecc,  ///< XOR-embedded FR checks with retry (Sec. 6)
-    Tmr,  ///< triple modular redundancy with majority vote
-};
-
-enum class RippleMode : uint8_t
-{
-    Iarm,       ///< input-aware rippling minimization (Sec. 4.5.2)
-    FullRipple, ///< full carry propagation after every input
-};
-
-enum class CountMode : uint8_t
-{
-    Kary, ///< one increment per non-zero digit (Sec. 4.5.1)
-    Unit, ///< d unit increments per digit value d (Sec. 4.4)
-};
-
-struct EngineConfig
-{
-    unsigned radix = 4;
-    unsigned capacityBits = 32;
-    size_t numCounters = 256;
-    unsigned numGroups = 1;
-    unsigned maxMaskRows = 64;
-    Protection protection = Protection::None;
-    unsigned frChecks = 1;   ///< FR computations per masking step
-    unsigned maxRetries = 4; ///< re-executions before giving up
-    RippleMode ripple = RippleMode::Iarm;
-    CountMode counting = CountMode::Kary;
-    double faultRate = 0.0;  ///< per-bit MAJ3 fault probability
-    uint64_t seed = 1;
-};
-
-struct EngineStats
-{
-    uint64_t inputsAccumulated = 0;
-    uint64_t increments = 0;
-    uint64_t ripples = 0;
-    uint64_t checksRun = 0;
-    uint64_t faultsDetected = 0;
-    uint64_t retries = 0;
-    uint64_t uncorrectedBlocks = 0;
-    uint64_t invalidStates = 0; ///< unreadable JC patterns at readout
-    uint64_t voteOps = 0;
-
-    /**
-     * Field-wise sum, used to merge per-shard stats into one view.
-     * When adding a field above, extend this too — the
-     * EngineStatsMerge test pins sizeof(EngineStats) so a new field
-     * cannot be silently dropped from the merge.
-     */
-    EngineStats &operator+=(const EngineStats &o)
-    {
-        inputsAccumulated += o.inputsAccumulated;
-        increments += o.increments;
-        ripples += o.ripples;
-        checksRun += o.checksRun;
-        faultsDetected += o.faultsDetected;
-        retries += o.retries;
-        uncorrectedBlocks += o.uncorrectedBlocks;
-        invalidStates += o.invalidStates;
-        voteOps += o.voteOps;
-        return *this;
-    }
-};
 
 class C2MEngine
 {
   public:
     explicit C2MEngine(const EngineConfig &cfg);
+    ~C2MEngine();
 
     const EngineConfig &config() const { return cfg_; }
     const EngineStats &stats() const { return stats_; }
-    cim::AmbitSubarray &subarray() { return sub_; }
+
+    /** The counting substrate this engine drives. */
+    CountingBackend &backend() { return *backend_; }
+    const CountingBackend &backend() const { return *backend_; }
+
+    /**
+     * The underlying Ambit subarray (DRAM-fabric backends only:
+     * Ambit and RCA; panics otherwise).
+     */
+    cim::AmbitSubarray &subarray();
+
+    /** JC row layout (JC backends only: Ambit and NVM). */
     const jc::CounterLayout &layout(unsigned group = 0) const;
 
     /** Store a binary mask (the next row of Z); returns its handle. */
@@ -137,6 +85,7 @@ class C2MEngine
     void clear();
 
     // ---- Tensor-style operations (Sec. 5.2.4) ----
+    // Require a backend with caps().tensorOps (Ambit).
 
     /** dst += src element-wise (JC vector addition, Alg. 2). */
     void addCounters(unsigned dst_group, unsigned src_group);
@@ -162,12 +111,8 @@ class C2MEngine
     }
     unsigned physIndex(unsigned group, unsigned replica) const;
 
-    /** Run a checked program on one physical layout with retries. */
-    void runChecked(const uprog::CheckedProgram &prog);
-
     /** Majority-vote the rows of digit @p digit across replicas. */
     void voteDigit(unsigned group, unsigned digit);
-    void voteRows(const std::vector<unsigned> &rows_per_replica);
 
     void incrementDigit(unsigned group, unsigned digit, unsigned k,
                         unsigned mask_row);
@@ -183,20 +128,16 @@ class C2MEngine
      * unambiguous before the direction can change.
      */
     void resolveAllPendings(unsigned group, bool borrows);
-    void foldTopBorrowIntoSign(unsigned group);
 
     unsigned maskRowIndex(unsigned handle) const;
 
     EngineConfig cfg_;
     unsigned bitsPerDigit_;
-    std::vector<jc::CounterLayout> layouts_;  ///< per physical replica
-    std::vector<uprog::AmbitCodegen> codegen_; ///< per physical replica
+    EngineStats stats_; ///< must precede backend_ (holds a reference)
+    std::unique_ptr<CountingBackend> backend_;
     std::vector<jc::IarmScheduler> schedulers_; ///< per logical group
     std::vector<bool> groupHasDecrements_;
-    unsigned maskBase_;
     unsigned numMasks_ = 0;
-    cim::AmbitSubarray sub_;
-    EngineStats stats_;
 };
 
 } // namespace core

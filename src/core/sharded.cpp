@@ -185,6 +185,15 @@ ShardedEngine::relu(unsigned group)
 }
 
 void
+ShardedEngine::shiftLeft(unsigned group, unsigned spare_group,
+                         unsigned amount)
+{
+    forEachShard([&](C2MEngine &eng, unsigned) {
+        eng.shiftLeft(group, spare_group, amount);
+    });
+}
+
+void
 ShardedEngine::drain(unsigned group)
 {
     forEachShard(

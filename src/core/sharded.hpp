@@ -107,6 +107,12 @@ class ShardedEngine
     // ---- Tensor-style fan-out (each runs on all shards) ----
     void addCounters(unsigned dst_group, unsigned src_group);
     void relu(unsigned group);
+    /**
+     * counters <<= amount on every shard; @p spare_group is clobbered
+     * as scratch (matches C2MEngine::shiftLeft).
+     */
+    void shiftLeft(unsigned group, unsigned spare_group,
+                   unsigned amount);
     void drain(unsigned group);
     void clear();
 

@@ -32,10 +32,30 @@ class NvmCodegen
     cim::NvmProgram karyIncrement(unsigned digit, unsigned k,
                                   unsigned mask_row) const;
 
+    /** Masked k-ary decrement; borrows are OR-ed into Onext. */
+    cim::NvmProgram karyDecrement(unsigned digit, unsigned k,
+                                  unsigned mask_row) const;
+
     /** Carry ripple: unit-increment digit+1 masked by Onext(digit). */
     cim::NvmProgram carryRipple(unsigned digit) const;
 
+    /** Borrow ripple: unit-decrement digit+1 masked by Onext(digit). */
+    cim::NvmProgram borrowRipple(unsigned digit) const;
+
+    /** Zero every counter row (bits, Onext, Osign). */
+    cim::NvmProgram clearCounters() const;
+
+    /** Osign ^= Onext(top); Onext(top) <- 0 (signed-mode fold). */
+    cim::NvmProgram foldTopBorrowIntoSign() const;
+
   private:
+    /** JC state shift by @p eff_k under the mask (incr/decr body). */
+    void emitShiftedUpdate(cim::NvmProgram &p, unsigned digit,
+                           unsigned eff_k, unsigned mask_row,
+                           unsigned not_m_row) const;
+
+    /** row <- 0 within the available op set of the technology. */
+    void emitClearRow(cim::NvmProgram &p, unsigned row) const;
     /**
      * dst = ((src ^ src_neg) AND m) OR (dst AND ~m).
      * @p not_m_row: row caching ~m (MAGIC only; pass any row for

@@ -110,6 +110,21 @@ DnaWorkload::repetitionHistogram(core::ShardedEngine &engine) const
     return core::countersToHistogram(engine, 0, 18);
 }
 
+Histogram
+DnaWorkload::repetitionHistogram(core::BackendKind backend,
+                                 unsigned num_shards) const
+{
+    core::EngineConfig cfg;
+    cfg.backend = backend;
+    cfg.radix = 4;
+    cfg.capacityBits = 24;
+    // Counters index repetition counts, bounded by the read length.
+    cfg.numCounters = cfg_.readLen + 1;
+    cfg.maxMaskRows = 1;
+    core::ShardedEngine engine(cfg, num_shards);
+    return repetitionHistogram(engine);
+}
+
 std::vector<int64_t>
 DnaWorkload::refScores(const Read &read) const
 {

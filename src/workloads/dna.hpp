@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/stats.hpp"
+#include "core/config.hpp"
 
 namespace c2m {
 namespace core {
@@ -82,6 +83,15 @@ class DnaWorkload
      * token count.
      */
     Histogram repetitionHistogram(core::ShardedEngine &engine) const;
+
+    /**
+     * Same histogram counted on a freshly built sharded engine over
+     * the selected counting substrate — any CountingBackend produces
+     * the same counts, so this is the one-call way to run the DNA
+     * distribution on Ambit, NVM or RCA shards.
+     */
+    Histogram repetitionHistogram(core::BackendKind backend,
+                                  unsigned num_shards = 1) const;
 
     /** Exact (fault-free) per-bin scores of a read. */
     std::vector<int64_t> refScores(const Read &read) const;

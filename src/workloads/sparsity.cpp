@@ -1,5 +1,7 @@
 #include "workloads/sparsity.hpp"
 
+#include <algorithm>
+
 #include "common/logging.hpp"
 #include "common/rng.hpp"
 #include "core/sharded.hpp"
@@ -25,6 +27,22 @@ countOccurrences(const std::vector<uint64_t> &values,
     engine.accumulateBatch(ops);
     return core::countersToHistogram(engine, 0,
                                      static_cast<int64_t>(n) - 1);
+}
+
+/** Engine over [0, max(values)] sized for the chosen backend. */
+core::ShardedEngine
+engineForValues(const std::vector<uint64_t> &values,
+                core::BackendKind backend, unsigned num_shards)
+{
+    uint64_t max_v = 0;
+    for (uint64_t v : values)
+        max_v = v > max_v ? v : max_v;
+    core::EngineConfig cfg;
+    cfg.backend = backend;
+    cfg.capacityBits = 24;
+    cfg.numCounters = std::max<size_t>(max_v + 1, num_shards);
+    cfg.maxMaskRows = 1;
+    return core::ShardedEngine(cfg, num_shards);
 }
 
 } // namespace
@@ -105,6 +123,27 @@ magnitudeHistogram(const std::vector<int64_t> &values,
         mags.push_back(v < 0 ? 0 - static_cast<uint64_t>(v)
                              : static_cast<uint64_t>(v));
     return countOccurrences(mags, engine);
+}
+
+Histogram
+valueHistogram(const std::vector<uint64_t> &values,
+               core::BackendKind backend, unsigned num_shards)
+{
+    auto engine = engineForValues(values, backend, num_shards);
+    return valueHistogram(values, engine);
+}
+
+Histogram
+magnitudeHistogram(const std::vector<int64_t> &values,
+                   core::BackendKind backend, unsigned num_shards)
+{
+    std::vector<uint64_t> mags;
+    mags.reserve(values.size());
+    for (int64_t v : values)
+        mags.push_back(v < 0 ? 0 - static_cast<uint64_t>(v)
+                             : static_cast<uint64_t>(v));
+    auto engine = engineForValues(mags, backend, num_shards);
+    return valueHistogram(mags, engine);
 }
 
 } // namespace workloads

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/stats.hpp"
+#include "core/config.hpp"
 
 namespace c2m {
 namespace core {
@@ -54,6 +55,20 @@ Histogram valueHistogram(const std::vector<uint64_t> &values,
 /** Same, over |v| of a signed operand vector. */
 Histogram magnitudeHistogram(const std::vector<int64_t> &values,
                              core::ShardedEngine &engine);
+
+/**
+ * valueHistogram on a freshly built sharded engine over the selected
+ * counting substrate, sized to the operand range; every
+ * CountingBackend produces the same counts.
+ */
+Histogram valueHistogram(const std::vector<uint64_t> &values,
+                         core::BackendKind backend,
+                         unsigned num_shards = 1);
+
+/** Same, over |v| of a signed operand vector. */
+Histogram magnitudeHistogram(const std::vector<int64_t> &values,
+                             core::BackendKind backend,
+                             unsigned num_shards = 1);
 
 } // namespace workloads
 } // namespace c2m

@@ -278,12 +278,12 @@ TEST(EngineStatsMerge, SumsEveryField)
 {
     // A new EngineStats field changes this size and fails here:
     // extend operator+= and the checks below together.
-    static_assert(sizeof(EngineStats) == 9 * sizeof(uint64_t),
+    static_assert(sizeof(EngineStats) == 11 * sizeof(uint64_t),
                   "EngineStats changed; update operator+= and this "
                   "test");
 
-    EngineStats a{1, 2, 3, 4, 5, 6, 7, 8, 9};
-    const EngineStats b{10, 20, 30, 40, 50, 60, 70, 80, 90};
+    EngineStats a{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11};
+    const EngineStats b{10, 20, 30, 40, 50, 60, 70, 80, 90, 100, 110};
     a += b;
     EXPECT_EQ(a.inputsAccumulated, 11u);
     EXPECT_EQ(a.increments, 22u);
@@ -294,6 +294,8 @@ TEST(EngineStatsMerge, SumsEveryField)
     EXPECT_EQ(a.uncorrectedBlocks, 77u);
     EXPECT_EQ(a.invalidStates, 88u);
     EXPECT_EQ(a.voteOps, 99u);
+    EXPECT_EQ(a.programCacheHits, 110u);
+    EXPECT_EQ(a.programCacheMisses, 121u);
 }
 
 TEST(ShardedWorkloads, DnaBatchedHistogramMatchesHost)
