@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Async ingest throughput: producers x shards x coalescing over
+ * uniform and Zipf(1.0)-skewed key streams.
+ *
+ * Each cell pushes the same op stream through an IngestService
+ * configured with a one-epoch coalescing window (minDrainOps =
+ * stream length), so duplicate (counter, group) deltas merge before
+ * touching the fabric. The headline numbers:
+ *
+ *  - fabric inputs (EngineStats::inputsAccumulated): accumulate
+ *    calls that actually reached the fabric. Coalescing on a skewed
+ *    stream must cut this >= 2x vs. uncoalesced ingest — the
+ *    write-combining win the batch substrate rewards.
+ *  - bit-identity: every cell's final counters are compared against
+ *    one blocking C2MEngine replaying the same stream serially.
+ *
+ * Exit status: 0 iff the 4-producer / 4-shard Zipf cell coalesces
+ * >= 2x and every cell matches the serial replay.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "core/sharded.hpp"
+#include "service/ingest.hpp"
+
+using namespace c2m;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+constexpr size_t kNumCounters = 4096;
+constexpr size_t kNumOps = 4096;
+
+double
+secondsSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+core::EngineConfig
+engineConfig()
+{
+    core::EngineConfig cfg;
+    cfg.radix = 4;
+    cfg.capacityBits = 16;
+    cfg.numCounters = kNumCounters;
+    cfg.maxMaskRows = 1;
+    return cfg;
+}
+
+std::vector<core::BatchOp>
+makeStream(bool zipf)
+{
+    std::vector<core::BatchOp> ops;
+    ops.reserve(kNumOps);
+    Rng val_rng(7);
+    if (zipf) {
+        ZipfRng keys(kNumCounters, 1.0, 42);
+        for (size_t i = 0; i < kNumOps; ++i)
+            ops.push_back(
+                {keys.next(),
+                 static_cast<int64_t>(1 + val_rng.nextBounded(7)),
+                 0});
+    } else {
+        Rng keys(42);
+        for (size_t i = 0; i < kNumOps; ++i)
+            ops.push_back(
+                {keys.nextBounded(kNumCounters),
+                 static_cast<int64_t>(1 + val_rng.nextBounded(7)),
+                 0});
+    }
+    return ops;
+}
+
+/** Blocking baseline: one engine, one point mask, op after op. */
+std::vector<int64_t>
+serialReplay(const std::vector<core::BatchOp> &ops, double *time_s)
+{
+    const auto t0 = Clock::now();
+    auto counters = core::replaySerial(engineConfig(), ops);
+    *time_s = secondsSince(t0);
+    return counters;
+}
+
+struct Cell
+{
+    const char *dist;
+    unsigned shards;
+    unsigned producers;
+    bool coalesce;
+    double timeS = 0.0;
+    double opsPerS = 0.0;
+    uint64_t fabricInputs = 0;
+    uint64_t fabricIncrements = 0;
+    uint64_t coalesced = 0;
+    uint64_t epochs = 0;
+    uint64_t steals = 0;
+    uint64_t stalls = 0;
+    bool match = false;
+};
+
+Cell
+runCell(const char *dist, const std::vector<core::BatchOp> &ops,
+        const std::vector<int64_t> &reference, unsigned shards,
+        unsigned producers, bool coalesce)
+{
+    Cell cell{dist, shards, producers, coalesce};
+    core::ShardedEngine engine(engineConfig(), shards);
+    service::IngestConfig icfg;
+    icfg.coalesce = coalesce;
+    // One-epoch coalescing window: drain only once the whole stream
+    // is queued (flush/stop still override), maximizing merges.
+    icfg.minDrainOps = kNumOps;
+    icfg.queueCapacity = 2 * kNumOps;
+    service::IngestService svc(engine, icfg);
+
+    const auto t0 = Clock::now();
+    service::submitConcurrent(svc, ops, producers);
+    const auto counters = svc.readCounters();
+    cell.timeS = secondsSince(t0);
+    cell.opsPerS = static_cast<double>(kNumOps) / cell.timeS;
+    cell.match = counters == reference;
+
+    const auto sst = svc.serviceStats();
+    const auto est = svc.engineStats();
+    cell.fabricInputs = est.inputsAccumulated;
+    cell.fabricIncrements = est.increments;
+    cell.coalesced = sst.coalesced;
+    cell.epochs = sst.epochs;
+    cell.steals = sst.steals;
+    cell.stalls = sst.stalls;
+    return cell;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("async ingest throughput: %zu ops over %zu "
+                "counters, one-epoch coalescing window\n",
+                kNumOps, kNumCounters);
+
+    std::vector<Cell> cells;
+    bool all_match = true;
+    double zipf_on = 0.0, zipf_off = 0.0;
+    for (const bool zipf : {false, true}) {
+        const char *dist = zipf ? "zipf1.0" : "uniform";
+        const auto ops = makeStream(zipf);
+        double replay_s = 0.0;
+        const auto reference = serialReplay(ops, &replay_s);
+        std::printf("%s: serial blocking replay %.3fs (%.0f ops/s)\n",
+                    dist, replay_s,
+                    static_cast<double>(kNumOps) / replay_s);
+        for (const unsigned shards : {1u, 4u}) {
+            for (const unsigned producers : {1u, 4u}) {
+                for (const bool coalesce : {false, true}) {
+                    const auto cell = runCell(dist, ops, reference,
+                                              shards, producers,
+                                              coalesce);
+                    all_match = all_match && cell.match;
+                    if (zipf && shards == 4 && producers == 4) {
+                        (coalesce ? zipf_on : zipf_off) =
+                            static_cast<double>(cell.fabricInputs);
+                    }
+                    cells.push_back(cell);
+                }
+            }
+        }
+    }
+
+    TextTable t({"dist", "shards", "prod", "coalesce", "time_s",
+                 "ops/s", "fabric_in", "merged", "steals", "match"});
+    for (const auto &c : cells)
+        t.addRow({c.dist, std::to_string(c.shards),
+                  std::to_string(c.producers), c.coalesce ? "on" : "off",
+                  TextTable::fmt(c.timeS, 3),
+                  TextTable::fmt(c.opsPerS, 0),
+                  std::to_string(c.fabricInputs),
+                  std::to_string(c.coalesced),
+                  std::to_string(c.steals), c.match ? "yes" : "NO"});
+    std::printf("%s", t.render().c_str());
+
+    const double reduction = zipf_on > 0.0 ? zipf_off / zipf_on : 0.0;
+    std::printf("zipf 4x4 fabric-op reduction from coalescing: "
+                "%.2fx (need >= 2x)\n",
+                reduction);
+    std::printf("all cells bit-identical to serial replay: %s\n",
+                all_match ? "yes" : "NO");
+
+    if (std::FILE *f = std::fopen("BENCH_ingest.json", "w")) {
+        std::fprintf(f,
+                     "{\n  \"bench\": \"ingest_throughput\",\n"
+                     "  \"num_ops\": %zu,\n"
+                     "  \"num_counters\": %zu,\n"
+                     "  \"zipf_4x4_fabric_reduction\": %.3f,\n"
+                     "  \"all_match_serial_replay\": %s,\n"
+                     "  \"cells\": [\n",
+                     kNumOps, kNumCounters, reduction,
+                     all_match ? "true" : "false");
+        for (size_t i = 0; i < cells.size(); ++i) {
+            const auto &c = cells[i];
+            std::fprintf(
+                f,
+                "    {\"dist\": \"%s\", \"shards\": %u, "
+                "\"producers\": %u, \"coalesce\": %s, "
+                "\"time_s\": %.6f, \"ops_per_s\": %.1f, "
+                "\"fabric_inputs\": %llu, "
+                "\"fabric_increments\": %llu, "
+                "\"coalesced\": %llu, \"epochs\": %llu, "
+                "\"steals\": %llu, \"stalls\": %llu, "
+                "\"match_reference\": %s}%s\n",
+                c.dist, c.shards, c.producers,
+                c.coalesce ? "true" : "false", c.timeS, c.opsPerS,
+                static_cast<unsigned long long>(c.fabricInputs),
+                static_cast<unsigned long long>(c.fabricIncrements),
+                static_cast<unsigned long long>(c.coalesced),
+                static_cast<unsigned long long>(c.epochs),
+                static_cast<unsigned long long>(c.steals),
+                static_cast<unsigned long long>(c.stalls),
+                c.match ? "true" : "false",
+                i + 1 < cells.size() ? "," : "");
+        }
+        std::fprintf(f, "  ]\n}\n");
+        std::fclose(f);
+        std::printf("wrote BENCH_ingest.json\n");
+    }
+    return (reduction >= 2.0 && all_match) ? 0 : 1;
+}

@@ -10,8 +10,10 @@
  * single seed. The core generator is xoshiro256**, seeded via SplitMix64.
  */
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <vector>
 
 namespace c2m {
 
@@ -128,6 +130,41 @@ class Rng
     }
 
     uint64_t state_[4];
+};
+
+/**
+ * Zipf(s)-distributed integers over [0, n): P(i) proportional to
+ * 1/(i+1)^s, drawn by inverse-CDF lookup on a precomputed table
+ * (O(n) memory, O(log n) per draw). s = 0 degenerates to uniform;
+ * s = 1 is the classic "hot keys" skew used by the ingest bench.
+ */
+class ZipfRng
+{
+  public:
+    ZipfRng(uint64_t n, double s, uint64_t seed)
+        : rng_(seed), cdf_(n)
+    {
+        double acc = 0.0;
+        for (uint64_t i = 0; i < n; ++i) {
+            acc += 1.0 / std::pow(static_cast<double>(i + 1), s);
+            cdf_[i] = acc;
+        }
+        for (auto &c : cdf_)
+            c /= acc;
+    }
+
+    uint64_t
+    next()
+    {
+        const double u = rng_.nextDouble();
+        const auto it =
+            std::lower_bound(cdf_.begin(), cdf_.end(), u);
+        return static_cast<uint64_t>(it - cdf_.begin());
+    }
+
+  private:
+    Rng rng_;
+    std::vector<double> cdf_;
 };
 
 } // namespace c2m

@@ -8,6 +8,29 @@
 
 namespace c2m {
 
+CounterMap &
+mergeCounters(CounterMap &into, const CounterMap &from)
+{
+    for (const auto &[name, value] : from)
+        into[name] += value;
+    return into;
+}
+
+std::string
+renderCounters(const CounterMap &counters, size_t indent)
+{
+    size_t width = 0;
+    for (const auto &[name, value] : counters)
+        width = std::max(width, name.size());
+    std::ostringstream os;
+    for (const auto &[name, value] : counters) {
+        os << std::string(indent, ' ') << name
+           << std::string(width - name.size() + 2, ' ') << value
+           << '\n';
+    }
+    return os.str();
+}
+
 double
 mean(const std::vector<double> &xs)
 {

@@ -4,8 +4,9 @@
 /**
  * @file
  * Small statistics helpers used by the experiment harnesses: summary
- * moments, RMSE against a reference, binary-classification scores, and
- * integer histograms (Fig. 3 style).
+ * moments, RMSE against a reference, binary-classification scores,
+ * integer histograms (Fig. 3 style), and named counter maps for
+ * merging engine/service statistics into one report.
  */
 
 #include <cstdint>
@@ -14,6 +15,21 @@
 #include <vector>
 
 namespace c2m {
+
+/**
+ * Named monotonic counters, the common exchange format for the
+ * statistics blocks of different subsystems (EngineStats,
+ * service::ServiceStats): each exposes toCounters(), the maps are
+ * merged field-wise and rendered as one report.
+ */
+using CounterMap = std::map<std::string, uint64_t>;
+
+/** Field-wise sum of @p from into @p into (missing keys created). */
+CounterMap &mergeCounters(CounterMap &into, const CounterMap &from);
+
+/** Render as aligned "name  value" lines, one per counter. */
+std::string renderCounters(const CounterMap &counters,
+                           size_t indent = 2);
 
 double mean(const std::vector<double> &xs);
 double geomean(const std::vector<double> &xs);

@@ -1,0 +1,25 @@
+#include "core/config.hpp"
+
+namespace c2m {
+namespace core {
+
+CounterMap
+EngineStats::toCounters() const
+{
+    return {
+        {"engine.inputs_accumulated", inputsAccumulated},
+        {"engine.increments", increments},
+        {"engine.ripples", ripples},
+        {"engine.checks_run", checksRun},
+        {"engine.faults_detected", faultsDetected},
+        {"engine.retries", retries},
+        {"engine.uncorrected_blocks", uncorrectedBlocks},
+        {"engine.invalid_states", invalidStates},
+        {"engine.vote_ops", voteOps},
+        {"engine.program_cache_hits", programCacheHits},
+        {"engine.program_cache_misses", programCacheMisses},
+    };
+}
+
+} // namespace core
+} // namespace c2m

@@ -16,6 +16,8 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "common/stats.hpp"
+
 namespace c2m {
 namespace core {
 
@@ -108,6 +110,14 @@ struct EngineStats
         programCacheMisses += o.programCacheMisses;
         return *this;
     }
+
+    /**
+     * Named "engine.*" counters, for merging with other subsystems'
+     * statistics (mergeCounters / renderCounters). One entry per
+     * field; the ToCountersCoversEveryField test pins the entry count
+     * against sizeof(EngineStats).
+     */
+    CounterMap toCounters() const;
 };
 
 } // namespace core

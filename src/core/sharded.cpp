@@ -49,6 +49,7 @@ ShardedEngine::ShardedEngine(const EngineConfig &cfg,
             std::vector<uint8_t>(shardWidth(s), 0));
     }
     pointCol_.assign(num_shards, std::numeric_limits<size_t>::max());
+    shardBusy_ = std::make_unique<std::atomic<bool>[]>(num_shards);
 }
 
 unsigned
@@ -98,8 +99,24 @@ ShardedEngine::setMask(unsigned handle,
 }
 
 void
-ShardedEngine::runShardBatch(unsigned s,
-                             const std::vector<BatchOp> &ops)
+ShardedEngine::runShardOps(unsigned s, std::span<const BatchOp> ops)
+{
+    C2M_ASSERT(s < numShards(), "shard index out of range: ", s);
+    for (const auto &op : ops)
+        C2M_ASSERT(op.counter >= starts_[s] &&
+                       op.counter < starts_[s + 1],
+                   "counter ", op.counter, " not owned by shard ", s);
+    // Whole-bucket stealing keeps shards single-writer; two threads
+    // inside one shard means a scheduler bug above this layer.
+    C2M_ASSERT(!shardBusy_[s].exchange(true,
+                                       std::memory_order_acquire),
+               "concurrent writers on shard ", s);
+    runShardBatch(s, ops);
+    shardBusy_[s].store(false, std::memory_order_release);
+}
+
+void
+ShardedEngine::runShardBatch(unsigned s, std::span<const BatchOp> ops)
 {
     C2MEngine &eng = *shards_[s];
     const size_t lo = starts_[s];
@@ -129,7 +146,7 @@ ShardedEngine::accumulateBatch(std::span<const BatchOp> ops)
         if (buckets[s].empty())
             continue;
         pool_.post(s, [this, s, bucket = std::move(buckets[s])] {
-            runShardBatch(s, bucket);
+            runShardOps(s, bucket);
         });
     }
     pool_.drain();
@@ -220,11 +237,42 @@ countersToHistogram(ShardedEngine &engine, int64_t lo, int64_t hi,
                     unsigned group)
 {
     const auto counts = engine.readAllCounters(group);
+    return countersToHistogram(counts, lo, hi);
+}
+
+std::vector<int64_t>
+replaySerial(const EngineConfig &cfg, std::span<const BatchOp> ops,
+             unsigned group)
+{
+    C2MEngine eng(cfg);
+    const unsigned h =
+        eng.addMask(std::vector<uint8_t>(cfg.numCounters, 0));
+    size_t current = std::numeric_limits<size_t>::max();
+    for (const auto &op : ops) {
+        if (op.counter != current) {
+            std::vector<uint8_t> mask(cfg.numCounters, 0);
+            mask[op.counter] = 1;
+            eng.setMask(h, mask);
+            current = op.counter;
+        }
+        if (op.value >= 0)
+            eng.accumulate(static_cast<uint64_t>(op.value), h,
+                           op.group);
+        else
+            eng.accumulateSigned(op.value, h, op.group);
+    }
+    return eng.readCounters(group);
+}
+
+Histogram
+countersToHistogram(std::span<const int64_t> counters, int64_t lo,
+                    int64_t hi)
+{
     Histogram h(lo, hi);
-    for (size_t i = 0; i < counts.size(); ++i)
-        if (counts[i] > 0)
+    for (size_t i = 0; i < counters.size(); ++i)
+        if (counters[i] > 0)
             h.add(static_cast<int64_t>(i),
-                  static_cast<uint64_t>(counts[i]));
+                  static_cast<uint64_t>(counters[i]));
     return h;
 }
 

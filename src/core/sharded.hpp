@@ -32,6 +32,7 @@
  * op order is fixed by the batch order, not by scheduling.
  */
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -95,6 +96,19 @@ class ShardedEngine
     /** Execute a batch of point updates; returns when all are done. */
     void accumulateBatch(std::span<const BatchOp> ops);
 
+    /**
+     * Execute a ready bucket of point updates, all owned by shard
+     * @p s, on the calling thread in bucket order. This is the seam
+     * the async ingest drainer schedules through: any thread may run
+     * any shard's bucket (work stealing), but shards are strictly
+     * single-writer — concurrent callers on one shard panic, and
+     * per-shard op order is whatever order the buckets are run in.
+     */
+    void runShardOps(unsigned s, std::span<const BatchOp> ops);
+
+    /** The lane pool shard work is scheduled on (lane s = shard s). */
+    ThreadPool &pool() { return pool_; }
+
     /** Broadcast @p value to masked counters on every shard. */
     void accumulate(uint64_t value, unsigned mask_handle,
                     unsigned group = 0);
@@ -123,7 +137,7 @@ class ShardedEngine
     /** Internal mask handle reserved per shard for point updates. */
     static constexpr unsigned kPointMask = 0;
 
-    void runShardBatch(unsigned s, const std::vector<BatchOp> &ops);
+    void runShardBatch(unsigned s, std::span<const BatchOp> ops);
     /** Run @p fn(shard) on every shard in parallel, then drain. */
     template <typename Fn> void forEachShard(Fn &&fn);
 
@@ -131,6 +145,8 @@ class ShardedEngine
     std::vector<size_t> starts_; ///< numShards+1 range boundaries
     std::vector<std::unique_ptr<C2MEngine>> shards_;
     std::vector<size_t> pointCol_; ///< column in shard's point mask
+    /** Single-writer guard per shard for the stealing path. */
+    std::unique_ptr<std::atomic<bool>[]> shardBusy_;
     unsigned numMasks_ = 0;
     ThreadPool pool_;
 };
@@ -143,6 +159,21 @@ class ShardedEngine
  */
 Histogram countersToHistogram(ShardedEngine &engine, int64_t lo,
                               int64_t hi, unsigned group = 0);
+
+/** Same conversion from an already-read counter vector. */
+Histogram countersToHistogram(std::span<const int64_t> counters,
+                              int64_t lo, int64_t hi);
+
+/**
+ * Canonical blocking baseline: replay @p ops in order on one
+ * C2MEngine over the full counter space, switching a single point
+ * mask per target change. Sharded batches and the async ingest
+ * service must produce counters bit-identical to this. Requires
+ * cfg.maxMaskRows >= 1 (one mask row is used).
+ */
+std::vector<int64_t> replaySerial(const EngineConfig &cfg,
+                                  std::span<const BatchOp> ops,
+                                  unsigned group = 0);
 
 template <typename Fn>
 void

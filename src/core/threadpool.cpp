@@ -5,6 +5,14 @@
 namespace c2m {
 namespace core {
 
+namespace {
+
+/** Pool/lane identity of the calling thread (workers only). */
+thread_local const ThreadPool *tlPool = nullptr;
+thread_local unsigned tlLane = ThreadPool::kNoLane;
+
+} // namespace
+
 ThreadPool::ThreadPool(unsigned num_threads)
 {
     lanes_.reserve(num_threads);
@@ -12,7 +20,8 @@ ThreadPool::ThreadPool(unsigned num_threads)
     for (unsigned i = 0; i < num_threads; ++i)
         lanes_.push_back(std::make_unique<Lane>());
     for (unsigned i = 0; i < num_threads; ++i)
-        workers_.emplace_back([this, i] { workerLoop(*lanes_[i]); });
+        workers_.emplace_back(
+            [this, i] { workerLoop(i, *lanes_[i]); });
 }
 
 ThreadPool::~ThreadPool()
@@ -44,9 +53,18 @@ ThreadPool::post(unsigned lane, std::function<void()> fn)
     l.cv.notify_one();
 }
 
+unsigned
+ThreadPool::currentLane() const
+{
+    return tlPool == this ? tlLane : kNoLane;
+}
+
 void
 ThreadPool::drain()
 {
+    C2M_ASSERT(tlPool != this,
+               "drain() from worker lane ", tlLane,
+               " would wait for itself");
     std::unique_lock<std::mutex> lk(doneMutex_);
     doneCv_.wait(lk, [this] { return pending_ == 0; });
     if (firstError_) {
@@ -57,8 +75,10 @@ ThreadPool::drain()
 }
 
 void
-ThreadPool::workerLoop(Lane &lane)
+ThreadPool::workerLoop(unsigned index, Lane &lane)
 {
+    tlPool = this;
+    tlLane = index;
     for (;;) {
         std::function<void()> fn;
         {

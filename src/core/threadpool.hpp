@@ -12,6 +12,18 @@
  * execution — and therefore simulation results — independent of how
  * the OS schedules the workers.
  *
+ * Lane FIFO guarantee: tasks posted to one lane run one at a time, in
+ * post order, entirely on that lane's worker. The pool itself never
+ * steals — a queued task is invisible to every other worker. Work
+ * stealing (service::IngestService's drain path) is therefore built
+ * ABOVE the pool: a claim loop posted to every lane pops whole ready
+ * per-shard buckets from a shared list, so a "stolen" bucket still
+ * runs start-to-finish on a single worker and per-shard order is
+ * fixed by the claim order, never by lane scheduling. Stealers can
+ * identify their worker via currentLane() and the sharded engine
+ * asserts single-threaded shard access underneath (see
+ * ShardedEngine::runShardOps).
+ *
  * Locks are taken only at enqueue/dequeue; the tasks themselves (the
  * hot path, whole per-shard batches) run without any shared mutable
  * state.
@@ -50,6 +62,16 @@ class ThreadPool
         return static_cast<unsigned>(workers_.size());
     }
 
+    /** currentLane() value on threads that are not workers of this pool. */
+    static constexpr unsigned kNoLane = ~0u;
+
+    /**
+     * Lane index of the calling thread if it is one of this pool's
+     * workers, kNoLane otherwise. Lets a claim-loop task tell whether
+     * it is executing a bucket on its home lane or stealing it.
+     */
+    unsigned currentLane() const;
+
     /**
      * Enqueue @p fn on lane @p lane % size(); tasks on one lane run
      * FIFO. In inline mode the task runs before post() returns.
@@ -59,6 +81,8 @@ class ThreadPool
     /**
      * Block until every task posted so far has finished. Rethrows the
      * first exception any task raised since the previous drain().
+     * Panics when called from one of this pool's own workers: the
+     * worker would wait for itself and deadlock.
      */
     void drain();
 
@@ -70,7 +94,7 @@ class ThreadPool
         std::deque<std::function<void()>> q;
     };
 
-    void workerLoop(Lane &lane);
+    void workerLoop(unsigned index, Lane &lane);
     void runTask(const std::function<void()> &fn);
     void finishTask();
 

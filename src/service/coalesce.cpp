@@ -1,0 +1,40 @@
+#include "service/coalesce.hpp"
+
+#include <map>
+#include <utility>
+
+namespace c2m {
+namespace service {
+
+CoalesceResult
+coalesceOps(std::span<const core::BatchOp> ops)
+{
+    CoalesceResult r;
+    r.ops.reserve(ops.size());
+    std::map<std::pair<uint64_t, uint32_t>, size_t> index;
+    for (const auto &op : ops) {
+        const auto key = std::make_pair(op.counter, op.group);
+        const auto [it, inserted] =
+            index.try_emplace(key, r.ops.size());
+        if (inserted) {
+            r.ops.push_back(op);
+        } else {
+            r.ops[it->second].value += op.value;
+            ++r.merged;
+        }
+    }
+    // Elide counters whose deltas cancelled, keeping order stable.
+    size_t out = 0;
+    for (size_t i = 0; i < r.ops.size(); ++i) {
+        if (r.ops[i].value == 0) {
+            ++r.merged;
+            continue;
+        }
+        r.ops[out++] = r.ops[i];
+    }
+    r.ops.resize(out);
+    return r;
+}
+
+} // namespace service
+} // namespace c2m

@@ -1,0 +1,48 @@
+#ifndef C2M_SERVICE_COALESCE_HPP
+#define C2M_SERVICE_COALESCE_HPP
+
+/**
+ * @file
+ * Epoch-side op coalescing: sum duplicate deltas per (counter,
+ * group) so N hits on a hot counter cost one fabric update.
+ *
+ * The fabric charges a fixed row-op sequence per accumulate call, so
+ * merging M same-counter ops into one divides that fixed cost by M —
+ * the write-combining lever the batch-oriented substrate rewards.
+ * Counter values are unchanged: integer addition commutes, and the
+ * engine reads back the per-counter sum either way. Groups whose
+ * deltas cancel to zero are elided entirely (the engine skips
+ * zero-value accumulates, but eliding also saves the point-mask
+ * switch).
+ *
+ * What is NOT preserved: the op count seen by the fabric
+ * (inputsAccumulated, increments, ripples shrink — that is the
+ * point) and the exact increment/decrement interleaving (a +5,-3
+ * pair becomes +2, which never takes the signed path). Deltas are
+ * summed in int64 without overflow checks; callers feed counter
+ * deltas, which are far below the 2^63 boundary.
+ */
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/sharded.hpp"
+
+namespace c2m {
+namespace service {
+
+struct CoalesceResult
+{
+    /** One op per surviving (counter, group), first-occurrence order. */
+    std::vector<core::BatchOp> ops;
+    /** Input ops eliminated by merging or zero-sum elision. */
+    uint64_t merged = 0;
+};
+
+CoalesceResult coalesceOps(std::span<const core::BatchOp> ops);
+
+} // namespace service
+} // namespace c2m
+
+#endif // C2M_SERVICE_COALESCE_HPP

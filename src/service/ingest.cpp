@@ -1,0 +1,358 @@
+#include "service/ingest.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+#include "service/coalesce.hpp"
+
+namespace c2m {
+namespace service {
+
+CounterMap
+ServiceStats::toCounters() const
+{
+    return {
+        {"service.submitted", submitted},
+        {"service.queued", queued},
+        {"service.dropped", dropped},
+        {"service.stalls", stalls},
+        {"service.coalesced", coalesced},
+        {"service.flushed_ops", flushedOps},
+        {"service.epochs", epochs},
+        {"service.steals", steals},
+    };
+}
+
+IngestService::IngestService(core::ShardedEngine &engine,
+                             const IngestConfig &cfg)
+    : engine_(engine), cfg_(cfg)
+{
+    C2M_ASSERT(cfg_.queueCapacity >= 1,
+               "queueCapacity must be >= 1");
+    lastShardEpoch_.assign(engine_.numShards(), 0);
+    for (unsigned s = 0; s < engine_.numShards(); ++s)
+        queues_.push_back(std::make_unique<BoundedOpQueue>(
+            cfg_.queueCapacity, cfg_.backpressure,
+            [this] { kick(); }));
+    drainer_ = std::thread([this] { drainerLoop(); });
+}
+
+IngestService::~IngestService() { stop(); }
+
+size_t
+IngestService::submit(std::span<const core::BatchOp> ops)
+{
+    if (ops.empty())
+        return 0;
+    // Pre-charge the gauge so an op sitting in a queue is always
+    // counted; rejected ops are refunded below. Overcounting between
+    // the two points only wakes the drainer early.
+    queuedOps_.fetch_add(ops.size(), std::memory_order_relaxed);
+    size_t accepted = 0;
+    const unsigned nshards = engine_.numShards();
+    if (nshards == 1) {
+        accepted = queues_[0]->push(ops);
+    } else if (ops.size() == 1) {
+        // Single-op hot path: route directly, no group buffers.
+        accepted =
+            queues_[engine_.shardOf(ops[0].counter)]->push(ops);
+    } else {
+        // Bucket by owning shard, preserving order, so each shard's
+        // portion is pushed contiguously under one queue lock (one
+        // epoch, capacity permitting).
+        std::vector<std::vector<core::BatchOp>> groups(nshards);
+        for (const auto &op : ops)
+            groups[engine_.shardOf(op.counter)].push_back(op);
+        for (unsigned s = 0; s < nshards; ++s)
+            if (!groups[s].empty())
+                accepted += queues_[s]->push(groups[s]);
+    }
+    if (accepted < ops.size())
+        queuedOps_.fetch_sub(ops.size() - accepted,
+                             std::memory_order_relaxed);
+    if (accepted > 0 && queuedOps_.load(std::memory_order_relaxed) >=
+                            cfg_.minDrainOps) {
+        std::lock_guard<std::mutex> lk(m_);
+        drainCv_.notify_one();
+    }
+    return accepted;
+}
+
+bool
+IngestService::submit(const core::BatchOp &op)
+{
+    return submit(std::span<const core::BatchOp>(&op, 1)) == 1;
+}
+
+uint64_t
+IngestService::flush()
+{
+    std::lock_guard<std::mutex> lk(m_);
+    // Nothing queued and no epoch in flight: already satisfied.
+    if (stop_ || (cutEpoch_ == appliedEpoch_ &&
+                  queuedOps_.load(std::memory_order_relaxed) == 0))
+        return appliedEpoch_;
+    const uint64_t token = cutEpoch_ + 1;
+    flushTarget_ = std::max(flushTarget_, token);
+    drainCv_.notify_one();
+    return token;
+}
+
+void
+IngestService::wait(uint64_t token)
+{
+    std::unique_lock<std::mutex> lk(m_);
+    C2M_ASSERT(token <= std::max(flushTarget_, appliedEpoch_),
+               "epoch token ", token, " was never issued");
+    epochCv_.wait(lk, [&] { return appliedEpoch_ >= token; });
+}
+
+uint64_t
+IngestService::flushAndWait()
+{
+    const uint64_t token = flush();
+    wait(token);
+    return token;
+}
+
+IngestService::Snapshot
+IngestService::snapshot(unsigned group)
+{
+    wait(flush());
+    // Holding engineMutex_ keeps the drainer out of its execute
+    // phase, so the read happens exactly at an epoch boundary (>= the
+    // flush token; cuts may still proceed concurrently).
+    std::lock_guard<std::mutex> ek(engineMutex_);
+    uint64_t epoch;
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        epoch = appliedEpoch_;
+    }
+    return {epoch, engine_.readAllCounters(group)};
+}
+
+std::vector<int64_t>
+IngestService::readCounters(unsigned group)
+{
+    return snapshot(group).counters;
+}
+
+void
+IngestService::stop()
+{
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        stop_ = true;
+        drainCv_.notify_one();
+    }
+    if (drainer_.joinable())
+        drainer_.join();
+    for (auto &q : queues_)
+        q->close();
+    // Ops that slipped in between the drainer's last epoch and
+    // close() are applied inline so accepted work is never lost.
+    for (unsigned s = 0; s < engine_.numShards(); ++s) {
+        auto ops = queues_[s]->cut();
+        if (ops.empty())
+            continue;
+        queuedOps_.fetch_sub(ops.size(), std::memory_order_relaxed);
+        ServiceStats es;
+        if (cfg_.coalesce) {
+            auto r = coalesceOps(ops);
+            es.coalesced = r.merged;
+            ops = std::move(r.ops);
+        }
+        es.flushedOps = ops.size();
+        std::lock_guard<std::mutex> ek(engineMutex_);
+        engine_.runShardOps(s, ops);
+        std::lock_guard<std::mutex> lk(m_);
+        stats_ += es;
+    }
+}
+
+ServiceStats
+IngestService::serviceStats() const
+{
+    ServiceStats s;
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        s = stats_;
+    }
+    for (const auto &q : queues_) {
+        const auto qs = q->stats();
+        s.submitted += qs.submitted;
+        s.dropped += qs.dropped;
+        s.stalls += qs.stalls;
+    }
+    s.queued = queuedOps_.load(std::memory_order_relaxed);
+    return s;
+}
+
+core::EngineStats
+IngestService::engineStats() const
+{
+    std::lock_guard<std::mutex> ek(engineMutex_);
+    return engine_.stats();
+}
+
+CounterMap
+IngestService::report() const
+{
+    CounterMap merged = serviceStats().toCounters();
+    return mergeCounters(merged, engineStats().toCounters());
+}
+
+void
+IngestService::kick()
+{
+    std::lock_guard<std::mutex> lk(m_);
+    forceDrain_ = true;
+    drainCv_.notify_one();
+}
+
+void
+IngestService::drainerLoop()
+{
+    for (;;) {
+        uint64_t epoch;
+        {
+            std::unique_lock<std::mutex> lk(m_);
+            drainCv_.wait(lk, [&] {
+                return stop_ || forceDrain_ ||
+                       flushTarget_ > cutEpoch_ ||
+                       queuedOps_.load(std::memory_order_relaxed) >=
+                           cfg_.minDrainOps;
+            });
+            const bool work_left =
+                flushTarget_ > cutEpoch_ ||
+                queuedOps_.load(std::memory_order_relaxed) > 0;
+            if (stop_ && !work_left)
+                break;
+            forceDrain_ = false;
+            epoch = ++cutEpoch_;
+        }
+        runEpoch(epoch);
+    }
+}
+
+size_t
+IngestService::runEpoch(uint64_t epoch)
+{
+    std::vector<Bucket> buckets;
+    size_t cut_total = 0;
+    for (unsigned s = 0; s < engine_.numShards(); ++s) {
+        auto ops = queues_[s]->cut();
+        if (ops.empty())
+            continue;
+        cut_total += ops.size();
+        buckets.push_back({s, std::move(ops)});
+    }
+    queuedOps_.fetch_sub(cut_total, std::memory_order_relaxed);
+
+    ServiceStats es;
+    es.epochs = 1;
+    if (cfg_.coalesce) {
+        for (auto &b : buckets) {
+            auto r = coalesceOps(b.ops);
+            es.coalesced += r.merged;
+            b.ops = std::move(r.ops);
+        }
+    }
+    for (const auto &b : buckets)
+        es.flushedOps += b.ops.size();
+
+    {
+        std::lock_guard<std::mutex> ek(engineMutex_);
+        executeEpoch(epoch, buckets, es);
+        // Applied-marking happens inside engineMutex_ so a snapshot
+        // taken between epochs sees an epoch label matching the
+        // counters it reads.
+        std::lock_guard<std::mutex> lk(m_);
+        appliedEpoch_ = epoch;
+        stats_ += es;
+        epochCv_.notify_all();
+    }
+    return cut_total;
+}
+
+void
+IngestService::executeEpoch(uint64_t epoch,
+                            std::vector<Bucket> &buckets,
+                            ServiceStats &epoch_stats)
+{
+    for (const auto &b : buckets) {
+        // The stealing contract: whole ready buckets only, applied in
+        // strictly increasing epoch order per shard.
+        C2M_ASSERT(lastShardEpoch_[b.shard] < epoch,
+                   "bucket reorder on shard ", b.shard);
+        lastShardEpoch_[b.shard] = epoch;
+    }
+    core::ThreadPool &pool = engine_.pool();
+    if (pool.size() == 0) {
+        for (const auto &b : buckets)
+            engine_.runShardOps(b.shard, b.ops);
+        return;
+    }
+    if (!cfg_.workStealing) {
+        for (const auto &b : buckets)
+            pool.post(b.shard, [this, &b] {
+                engine_.runShardOps(b.shard, b.ops);
+            });
+        pool.drain();
+        return;
+    }
+    // Work stealing: a claim loop on every lane pops whole ready
+    // buckets off a shared index, so an idle lane picks up a busy
+    // lane's next shard instead of waiting behind it.
+    std::atomic<size_t> next{0};
+    std::atomic<uint64_t> steals{0};
+    const unsigned lanes = static_cast<unsigned>(
+        std::min<size_t>(pool.size(), buckets.size()));
+    for (unsigned l = 0; l < lanes; ++l)
+        pool.post(l, [&] {
+            const unsigned lane = pool.currentLane();
+            for (;;) {
+                const size_t i =
+                    next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= buckets.size())
+                    return;
+                const Bucket &b = buckets[i];
+                if (b.shard % pool.size() != lane)
+                    steals.fetch_add(1, std::memory_order_relaxed);
+                engine_.runShardOps(b.shard, b.ops);
+            }
+        });
+    pool.drain();
+    epoch_stats.steals += steals.load(std::memory_order_relaxed);
+}
+
+size_t
+submitConcurrent(IngestService &service,
+                 std::span<const core::BatchOp> ops,
+                 unsigned num_producers)
+{
+    const unsigned n = std::max(1u, num_producers);
+    if (n == 1 || ops.size() < n)
+        return service.submit(ops);
+    std::atomic<size_t> accepted{0};
+    std::vector<std::thread> producers;
+    producers.reserve(n);
+    const size_t per = (ops.size() + n - 1) / n;
+    for (unsigned p = 0; p < n; ++p) {
+        const size_t lo = p * per;
+        const size_t hi = std::min(ops.size(), lo + per);
+        if (lo >= hi)
+            break;
+        producers.emplace_back([&, lo, hi] {
+            accepted.fetch_add(
+                service.submit(ops.subspan(lo, hi - lo)),
+                std::memory_order_relaxed);
+        });
+    }
+    for (auto &t : producers)
+        t.join();
+    return accepted.load(std::memory_order_relaxed);
+}
+
+} // namespace service
+} // namespace c2m

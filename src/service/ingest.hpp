@@ -1,0 +1,218 @@
+#ifndef C2M_SERVICE_INGEST_HPP
+#define C2M_SERVICE_INGEST_HPP
+
+/**
+ * @file
+ * Asynchronous ingest service over the sharded engine.
+ *
+ * IngestService fronts a ShardedEngine with one bounded MPSC queue
+ * per shard. Any number of producer threads submit() BatchOps; a
+ * background drainer runs deterministic epochs:
+ *
+ *   1. cut: every shard queue's pending ops are swapped out (each
+ *      cut is a FIFO prefix of that shard's submissions);
+ *   2. coalesce: per shard, duplicate (counter, group) deltas are
+ *      summed so a hot counter costs one fabric update per epoch;
+ *   3. execute: per-shard buckets run on the engine's lane pool —
+ *      either pinned to their home lane, or (workStealing) claimed
+ *      whole by whichever lane is free, so one skewed shard cannot
+ *      serialize the epoch behind busy lanes.
+ *
+ * Ordering and consistency:
+ *  - Per (producer, shard), ops apply in submission order; a
+ *    same-shard span submitted in one call lands in one epoch
+ *    (capacity permitting). Cross-shard spans may straddle an epoch
+ *    boundary — only per-shard atomicity is promised.
+ *  - Epochs are barriers: epoch E finishes on every shard before
+ *    E+1 cuts, so per-shard buckets never reorder and work stealing
+ *    cannot change results — final counters are bit-identical to a
+ *    single blocking engine replaying the same ops.
+ *  - flush() returns an epoch token covering everything submitted
+ *    before the call; wait(token) blocks until it is applied.
+ *    snapshot()/readCounters() drain up to such a token and read
+ *    the engine between epochs, so readers never observe a torn
+ *    (partially applied) epoch; the snapshot may be newer than the
+ *    token, never older.
+ *
+ * Backpressure is per shard queue: Block stalls producers until the
+ * drainer catches up, Drop rejects the overflow and counts it.
+ * While a service is attached, drive the engine only through it
+ * (direct accumulateBatch/readAllCounters calls would race the
+ * drainer).
+ */
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "core/sharded.hpp"
+#include "service/queue.hpp"
+
+namespace c2m {
+namespace service {
+
+struct IngestConfig
+{
+    size_t queueCapacity = 4096; ///< per-shard pending-op bound
+    /**
+     * Coalescing window: the drainer sleeps until this many ops are
+     * queued (across all shards) before cutting an epoch. flush(),
+     * stop() and full queues override it. Larger windows merge more
+     * duplicates per epoch at the cost of ingest latency.
+     */
+    size_t minDrainOps = 1;
+    bool coalesce = true;
+    bool workStealing = true;
+    Backpressure backpressure = Backpressure::Block;
+};
+
+struct ServiceStats
+{
+    uint64_t submitted = 0;  ///< ops accepted into shard queues
+    uint64_t queued = 0;     ///< ops currently pending (gauge)
+    uint64_t dropped = 0;    ///< ops rejected by Drop backpressure
+    uint64_t stalls = 0;     ///< producer blocks on a full queue
+    uint64_t coalesced = 0;  ///< ops merged away before the fabric
+    uint64_t flushedOps = 0; ///< ops actually executed on the fabric
+    uint64_t epochs = 0;     ///< drain epochs applied
+    uint64_t steals = 0;     ///< buckets executed off their home lane
+
+    ServiceStats &operator+=(const ServiceStats &o)
+    {
+        submitted += o.submitted;
+        queued += o.queued;
+        dropped += o.dropped;
+        stalls += o.stalls;
+        coalesced += o.coalesced;
+        flushedOps += o.flushedOps;
+        epochs += o.epochs;
+        steals += o.steals;
+        return *this;
+    }
+
+    /** Named "service.*" counters for the merged report. */
+    CounterMap toCounters() const;
+};
+
+class IngestService
+{
+  public:
+    /**
+     * Attach to @p engine and start the drainer. The engine must
+     * outlive the service and not be driven directly while attached.
+     */
+    explicit IngestService(core::ShardedEngine &engine,
+                           const IngestConfig &cfg = {});
+    ~IngestService();
+
+    IngestService(const IngestService &) = delete;
+    IngestService &operator=(const IngestService &) = delete;
+
+    const IngestConfig &config() const { return cfg_; }
+    core::ShardedEngine &engine() { return engine_; }
+
+    /**
+     * Submit ops from any thread; returns how many were accepted
+     * (all, under Block backpressure). Ops are routed to their
+     * owning shard's queue; each shard's portion of the span is
+     * enqueued contiguously.
+     */
+    size_t submit(std::span<const core::BatchOp> ops);
+    bool submit(const core::BatchOp &op);
+
+    /**
+     * Epoch token covering every op submitted before this call;
+     * wakes the drainer regardless of minDrainOps.
+     */
+    uint64_t flush();
+    /** Block until epoch @p token has been applied. */
+    void wait(uint64_t token);
+    uint64_t flushAndWait();
+
+    struct Snapshot
+    {
+        uint64_t epoch; ///< the applied epoch the counters reflect
+        std::vector<int64_t> counters;
+    };
+
+    /**
+     * Epoch-consistent read: drains everything submitted before the
+     * call, then reads the full counter space between epochs. The
+     * returned epoch is >= the flush token — never a torn batch.
+     */
+    Snapshot snapshot(unsigned group = 0);
+    std::vector<int64_t> readCounters(unsigned group = 0);
+
+    /**
+     * Drain every queued op and join the drainer (idempotent; the
+     * destructor calls it). Stop producers first: ops submitted
+     * after stop() returns are rejected.
+     */
+    void stop();
+
+    ServiceStats serviceStats() const;
+    /** Engine stats, read race-free against the drainer. */
+    core::EngineStats engineStats() const;
+    /** Merged service.* + engine.* counters, renderCounters-ready. */
+    CounterMap report() const;
+
+  private:
+    struct Bucket
+    {
+        unsigned shard;
+        std::vector<core::BatchOp> ops;
+    };
+
+    void drainerLoop();
+    /** Cut + coalesce + execute one epoch; returns ops cut. */
+    size_t runEpoch(uint64_t epoch);
+    void executeEpoch(uint64_t epoch, std::vector<Bucket> &buckets,
+                      ServiceStats &epoch_stats);
+    /** Producer-side: force a drain now (full queue, flush). */
+    void kick();
+
+    core::ShardedEngine &engine_;
+    const IngestConfig cfg_;
+    std::vector<std::unique_ptr<BoundedOpQueue>> queues_;
+    /** Total pending ops; adjusted under the owning queue's mutex. */
+    std::atomic<size_t> queuedOps_{0};
+
+    mutable std::mutex m_;
+    std::condition_variable drainCv_; ///< wakes the drainer
+    std::condition_variable epochCv_; ///< wakes wait()ers
+    uint64_t cutEpoch_ = 0;     ///< epochs started  (guarded by m_)
+    uint64_t appliedEpoch_ = 0; ///< epochs finished (guarded by m_)
+    uint64_t flushTarget_ = 0;  ///< newest token    (guarded by m_)
+    bool forceDrain_ = false;   ///< guarded by m_
+    bool stop_ = false;         ///< guarded by m_
+    ServiceStats stats_;        ///< epoch-side sums (guarded by m_)
+
+    /** Serializes epoch execution against snapshot reads. */
+    mutable std::mutex engineMutex_;
+    /** Drainer-only: last epoch executed per shard (FIFO assert). */
+    std::vector<uint64_t> lastShardEpoch_;
+
+    std::thread drainer_;
+};
+
+/**
+ * Split @p ops into @p num_producers contiguous slices and submit
+ * each from its own producer thread (num_producers == 0 behaves as
+ * 1). Returns the total ops accepted. Final counter values equal a
+ * serial submission of @p ops: per-counter sums commute, whatever
+ * epoch each slice lands in.
+ */
+size_t submitConcurrent(IngestService &service,
+                        std::span<const core::BatchOp> ops,
+                        unsigned num_producers);
+
+} // namespace service
+} // namespace c2m
+
+#endif // C2M_SERVICE_INGEST_HPP

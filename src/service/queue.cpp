@@ -1,0 +1,85 @@
+#include "service/queue.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace c2m {
+namespace service {
+
+BoundedOpQueue::BoundedOpQueue(size_t capacity, Backpressure policy,
+                               std::function<void()> kick)
+    : capacity_(capacity), policy_(policy), kick_(std::move(kick))
+{
+    C2M_ASSERT(capacity_ >= 1, "queue capacity must be >= 1");
+}
+
+size_t
+BoundedOpQueue::push(std::span<const core::BatchOp> ops)
+{
+    size_t accepted = 0;
+    std::unique_lock<std::mutex> lk(m_);
+    while (accepted < ops.size()) {
+        if (closed_) {
+            stats_.dropped += ops.size() - accepted;
+            break;
+        }
+        // Chunks never exceed the capacity, so a blocked producer is
+        // always satisfiable by one cut.
+        const size_t chunk =
+            std::min(ops.size() - accepted, capacity_);
+        if (pending_.size() + chunk > capacity_) {
+            kick_();
+            if (policy_ == Backpressure::Drop) {
+                stats_.dropped += ops.size() - accepted;
+                break;
+            }
+            ++stats_.stalls;
+            notFull_.wait(lk, [&] {
+                return closed_ ||
+                       pending_.size() + chunk <= capacity_;
+            });
+            continue;
+        }
+        pending_.insert(pending_.end(), ops.begin() + accepted,
+                        ops.begin() + (accepted + chunk));
+        accepted += chunk;
+        stats_.submitted += chunk;
+    }
+    return accepted;
+}
+
+std::vector<core::BatchOp>
+BoundedOpQueue::cut()
+{
+    std::vector<core::BatchOp> out;
+    std::lock_guard<std::mutex> lk(m_);
+    out.swap(pending_);
+    notFull_.notify_all();
+    return out;
+}
+
+void
+BoundedOpQueue::close()
+{
+    std::lock_guard<std::mutex> lk(m_);
+    closed_ = true;
+    notFull_.notify_all();
+}
+
+BoundedOpQueue::Stats
+BoundedOpQueue::stats() const
+{
+    std::lock_guard<std::mutex> lk(m_);
+    return stats_;
+}
+
+size_t
+BoundedOpQueue::sizeApprox() const
+{
+    std::lock_guard<std::mutex> lk(m_);
+    return pending_.size();
+}
+
+} // namespace service
+} // namespace c2m

@@ -1,0 +1,97 @@
+#ifndef C2M_SERVICE_QUEUE_HPP
+#define C2M_SERVICE_QUEUE_HPP
+
+/**
+ * @file
+ * Bounded multi-producer op queue, one per shard of the ingest
+ * service.
+ *
+ * Producers append BatchOp groups under the queue mutex; the drainer
+ * cuts the entire pending vector in O(1) (swap) at each epoch
+ * boundary. A group pushed in one call lands contiguously in a
+ * single cut — same-shard spans are therefore epoch-atomic as long
+ * as they fit the capacity (larger groups are split into
+ * capacity-sized chunks).
+ *
+ * Backpressure when a group does not fit:
+ *  - Block: the producer kicks the drainer and sleeps until a cut
+ *    frees space (counted in stalls);
+ *  - Drop: the remainder of the group is rejected immediately
+ *    (counted in dropped), the drainer is kicked so the backlog
+ *    clears.
+ */
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "core/sharded.hpp"
+
+namespace c2m {
+namespace service {
+
+/** What a producer experiences when a shard queue is full. */
+enum class Backpressure : uint8_t
+{
+    Block, ///< wait for the drainer to cut the queue
+    Drop,  ///< reject the ops and count them
+};
+
+class BoundedOpQueue
+{
+  public:
+    struct Stats
+    {
+        uint64_t submitted = 0; ///< ops accepted into the queue
+        uint64_t dropped = 0;   ///< ops rejected (Drop policy/close)
+        uint64_t stalls = 0;    ///< producer blocks on a full queue
+    };
+
+    /**
+     * @param capacity max pending ops (>= 1).
+     * @param policy what to do with producers when full.
+     * @param kick called (with the queue mutex held) right before a
+     *        producer blocks or drops, so the owner can wake its
+     *        drainer; must not call back into this queue.
+     */
+    BoundedOpQueue(size_t capacity, Backpressure policy,
+                   std::function<void()> kick);
+
+    /**
+     * Append @p ops FIFO; returns how many were accepted. Blocks or
+     * drops per the policy when full; a closed queue accepts
+     * nothing.
+     */
+    size_t push(std::span<const core::BatchOp> ops);
+
+    /** Swap out every pending op and wake blocked producers. */
+    std::vector<core::BatchOp> cut();
+
+    /** Reject current and future blocked producers (for shutdown). */
+    void close();
+
+    /** Counter snapshot (consistent under the queue mutex). */
+    Stats stats() const;
+
+    /** Pending op count; racy, for heuristics only. */
+    size_t sizeApprox() const;
+
+  private:
+    const size_t capacity_;
+    const Backpressure policy_;
+    const std::function<void()> kick_;
+
+    mutable std::mutex m_;
+    std::condition_variable notFull_;
+    std::vector<core::BatchOp> pending_;
+    Stats stats_;
+    bool closed_ = false;
+};
+
+} // namespace service
+} // namespace c2m
+
+#endif // C2M_SERVICE_QUEUE_HPP

@@ -5,6 +5,7 @@
 #include "common/logging.hpp"
 #include "common/rng.hpp"
 #include "core/sharded.hpp"
+#include "service/ingest.hpp"
 
 namespace c2m {
 namespace workloads {
@@ -108,6 +109,25 @@ DnaWorkload::repetitionHistogram(core::ShardedEngine &engine) const
     }
     engine.accumulateBatch(ops);
     return core::countersToHistogram(engine, 0, 18);
+}
+
+Histogram
+DnaWorkload::repetitionHistogram(service::IngestService &service,
+                                 unsigned num_producers) const
+{
+    const size_t n = service.engine().numCounters();
+    std::vector<core::BatchOp> ops;
+    for (const auto &read : reads_) {
+        for (const auto &[token, count] : readTokens(read)) {
+            (void)token;
+            C2M_ASSERT(count < n, "repetition count ", count,
+                       " needs more engine counters than ", n);
+            ops.push_back({count, 1, 0});
+        }
+    }
+    service::submitConcurrent(service, ops, num_producers);
+    const auto counters = service.readCounters();
+    return core::countersToHistogram(counters, 0, 18);
 }
 
 Histogram

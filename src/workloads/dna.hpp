@@ -29,6 +29,9 @@ namespace c2m {
 namespace core {
 class ShardedEngine;
 } // namespace core
+namespace service {
+class IngestService;
+} // namespace service
 
 namespace workloads {
 
@@ -92,6 +95,17 @@ class DnaWorkload
      */
     Histogram repetitionHistogram(core::BackendKind backend,
                                   unsigned num_shards = 1) const;
+
+    /**
+     * Same histogram ingested asynchronously: the (token, repetition)
+     * point updates are split across @p num_producers concurrent
+     * producer threads submitting into @p service, then read back
+     * with an epoch-consistent snapshot. Counts match the blocking
+     * overloads; the service's engine must be freshly constructed
+     * (or cleared) and sized like the direct-engine overload.
+     */
+    Histogram repetitionHistogram(service::IngestService &service,
+                                  unsigned num_producers = 1) const;
 
     /** Exact (fault-free) per-bin scores of a read. */
     std::vector<int64_t> refScores(const Read &read) const;

@@ -5,6 +5,7 @@
 #include "common/logging.hpp"
 #include "common/rng.hpp"
 #include "core/sharded.hpp"
+#include "service/ingest.hpp"
 
 namespace c2m {
 namespace workloads {
@@ -26,6 +27,26 @@ countOccurrences(const std::vector<uint64_t> &values,
     }
     engine.accumulateBatch(ops);
     return core::countersToHistogram(engine, 0,
+                                     static_cast<int64_t>(n) - 1);
+}
+
+/** One point update per value, pushed through the ingest service. */
+Histogram
+countOccurrencesAsync(const std::vector<uint64_t> &values,
+                      service::IngestService &service,
+                      unsigned num_producers)
+{
+    const size_t n = service.engine().numCounters();
+    std::vector<core::BatchOp> ops;
+    ops.reserve(values.size());
+    for (uint64_t v : values) {
+        C2M_ASSERT(v < n, "value ", v,
+                   " needs more engine counters than ", n);
+        ops.push_back({v, 1, 0});
+    }
+    service::submitConcurrent(service, ops, num_producers);
+    const auto counters = service.readCounters();
+    return core::countersToHistogram(counters, 0,
                                      static_cast<int64_t>(n) - 1);
 }
 
@@ -144,6 +165,27 @@ magnitudeHistogram(const std::vector<int64_t> &values,
                              : static_cast<uint64_t>(v));
     auto engine = engineForValues(mags, backend, num_shards);
     return valueHistogram(mags, engine);
+}
+
+Histogram
+valueHistogram(const std::vector<uint64_t> &values,
+               service::IngestService &service,
+               unsigned num_producers)
+{
+    return countOccurrencesAsync(values, service, num_producers);
+}
+
+Histogram
+magnitudeHistogram(const std::vector<int64_t> &values,
+                   service::IngestService &service,
+                   unsigned num_producers)
+{
+    std::vector<uint64_t> mags;
+    mags.reserve(values.size());
+    for (int64_t v : values)
+        mags.push_back(v < 0 ? 0 - static_cast<uint64_t>(v)
+                             : static_cast<uint64_t>(v));
+    return countOccurrencesAsync(mags, service, num_producers);
 }
 
 } // namespace workloads

@@ -17,6 +17,9 @@ namespace c2m {
 namespace core {
 class ShardedEngine;
 } // namespace core
+namespace service {
+class IngestService;
+} // namespace service
 
 namespace workloads {
 
@@ -69,6 +72,21 @@ Histogram valueHistogram(const std::vector<uint64_t> &values,
 Histogram magnitudeHistogram(const std::vector<int64_t> &values,
                              core::BackendKind backend,
                              unsigned num_shards = 1);
+
+/**
+ * valueHistogram ingested asynchronously: one point update per
+ * element, split across @p num_producers concurrent producers
+ * submitting into @p service, read back with an epoch-consistent
+ * snapshot. Counts match the blocking overloads.
+ */
+Histogram valueHistogram(const std::vector<uint64_t> &values,
+                         service::IngestService &service,
+                         unsigned num_producers = 1);
+
+/** Same, over |v| of a signed operand vector. */
+Histogram magnitudeHistogram(const std::vector<int64_t> &values,
+                             service::IngestService &service,
+                             unsigned num_producers = 1);
 
 } // namespace workloads
 } // namespace c2m
