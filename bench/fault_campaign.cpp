@@ -1,0 +1,327 @@
+/**
+ * @file
+ * Reliability fault campaign: Monte-Carlo sweep of CIM fault rate x
+ * backend (Ambit / NVM / RCA) x protection level (None / ECC / TMR,
+ * each with and without online scrubbing where the substrate
+ * supports it) under live async ingest.
+ *
+ * Every cell streams the same op mix through an IngestService with
+ * concurrent producers; an attached reliability::Scrubber sweeps
+ * counter state at each epoch boundary when enabled. The final
+ * snapshot is compared counter-by-counter against the exact host
+ * sums (bit-identical to a fault-free core::replaySerial by the
+ * sharded-engine invariants), giving:
+ *
+ *  - silent errors: counters ending with the wrong value;
+ *  - corrected/recovered: flips healed by the scrubber's SEC-DED
+ *    lanes vs. its mirror fallback;
+ *  - throughput overhead: wall time and fabric commands relative to
+ *    the same backend's unprotected fault-free cell;
+ *  - the HealthMonitor's blind fault-rate estimate next to the
+ *    injected truth.
+ *
+ * Emits BENCH_reliability.json. Exit status is the CI gate: 0 iff
+ * every scrub-enabled cell at the paper's protected operating
+ * points (fault rate <= 1e-3) ends with zero silent errors.
+ *
+ * Usage: fault_campaign [--trials=small|full] [--seed=N]
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "core/sharded.hpp"
+#include "reliability/scrubber.hpp"
+#include "service/ingest.hpp"
+
+using namespace c2m;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+struct CampaignScale
+{
+    size_t counters;
+    size_t ops;
+    unsigned shards;
+    unsigned producers;
+    std::vector<double> rates;
+};
+
+struct Cell
+{
+    const char *backend;
+    const char *protection;
+    bool scrub;
+    double rate;
+
+    size_t silentErrors = 0;
+    int64_t maxAbsErr = 0;
+    double wallS = 0.0;
+    uint64_t fabricCommands = 0;
+    uint64_t retries = 0;
+    uint64_t uncorrectedBlocks = 0;
+    uint64_t sweeps = 0;
+    uint64_t faultyBits = 0;
+    uint64_t bitsCorrected = 0;
+    uint64_t wordsRecovered = 0;
+    uint64_t faultsInjected = 0;
+    double estRate = 0.0;
+    double overhead = 1.0; ///< wall time vs backend's clean baseline
+};
+
+struct Scheme
+{
+    const char *name;
+    core::Protection protection;
+    bool scrub;
+};
+
+core::EngineConfig
+cellConfig(core::BackendKind backend, const Scheme &scheme,
+           double rate, size_t counters, uint64_t seed)
+{
+    core::EngineConfig cfg;
+    cfg.numCounters = counters;
+    cfg.capacityBits = 24;
+    cfg.faultRate = rate;
+    cfg.seed = seed;
+    cfg.backend = backend;
+    cfg.protection = scheme.protection;
+    if (scheme.protection == core::Protection::Ecc) {
+        cfg.frChecks = 2;
+        cfg.maxRetries = 6;
+    }
+    return cfg;
+}
+
+std::vector<core::BatchOp>
+makeStream(const CampaignScale &scale, uint64_t seed)
+{
+    // Half uniform, half Zipf-skewed keys; ~30% negative deltas so
+    // the signed path is under test too.
+    Rng rng(seed);
+    ZipfRng zipf(scale.counters, 1.0, seed ^ 0xabcdefULL);
+    std::vector<core::BatchOp> ops;
+    ops.reserve(scale.ops);
+    for (size_t i = 0; i < scale.ops; ++i) {
+        const uint64_t c = (i % 2) ? zipf.next()
+                                   : rng.nextBounded(scale.counters);
+        int64_t v = 1 + static_cast<int64_t>(rng.nextBounded(40));
+        if (rng.nextBool(0.3))
+            v = -v;
+        ops.push_back({c, v, 0});
+    }
+    return ops;
+}
+
+Cell
+runCell(core::BackendKind backend, const Scheme &scheme, double rate,
+        const CampaignScale &scale,
+        const std::vector<core::BatchOp> &ops,
+        const std::vector<int64_t> &expected, uint64_t seed)
+{
+    Cell cell{core::backendName(backend), scheme.name, scheme.scrub,
+              rate};
+
+    const auto cfg =
+        cellConfig(backend, scheme, rate, scale.counters, seed);
+    core::ShardedEngine eng(cfg, scale.shards);
+    // Observer before service: it must outlive the service's stop().
+    std::unique_ptr<reliability::Scrubber> scrub;
+    if (scheme.scrub)
+        scrub = std::make_unique<reliability::Scrubber>(
+            eng, reliability::ScrubConfig{});
+    service::IngestService svc(eng, {});
+    if (scrub)
+        svc.attachObserver(scrub.get());
+
+    const auto t0 = Clock::now();
+    service::submitConcurrent(svc, ops, scale.producers);
+    const auto snap = svc.snapshot();
+    svc.stop();
+    cell.wallS =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+
+    for (size_t i = 0; i < expected.size(); ++i) {
+        const int64_t err = snap.counters[i] - expected[i];
+        if (err != 0) {
+            ++cell.silentErrors;
+            cell.maxAbsErr =
+                std::max<int64_t>(cell.maxAbsErr, std::abs(err));
+        }
+    }
+    const auto es = eng.stats();
+    cell.fabricCommands = es.fabric.commands();
+    cell.faultsInjected = es.fabric.faultsInjected;
+    cell.retries = es.retries;
+    cell.uncorrectedBlocks = es.uncorrectedBlocks;
+    if (scrub) {
+        const auto ss = scrub->stats();
+        cell.sweeps = ss.sweeps;
+        cell.faultyBits = ss.faultyBits;
+        cell.bitsCorrected = ss.bitsCorrected;
+        cell.wordsRecovered = ss.wordsRecovered;
+        cell.estRate = scrub->health().estimatedFaultRate();
+    }
+    return cell;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool small = false;
+    uint64_t seed = 12345;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--trials=small"))
+            small = true;
+        else if (!std::strcmp(argv[i], "--trials=full"))
+            small = false;
+        else if (!std::strncmp(argv[i], "--seed=", 7))
+            seed = std::strtoull(argv[i] + 7, nullptr, 10);
+        else {
+            std::printf("usage: %s [--trials=small|full] [--seed=N]\n",
+                        argv[0]);
+            return 2;
+        }
+    }
+
+    const CampaignScale scale =
+        small ? CampaignScale{96, 2000, 4, 2, {1e-4, 1e-3, 1e-2}}
+              : CampaignScale{256, 8000, 4, 4,
+                              {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1}};
+
+    const auto ops = makeStream(scale, seed);
+    std::vector<int64_t> expected(scale.counters, 0);
+    for (const auto &op : ops)
+        expected[op.counter] += op.value;
+
+    // Protection levels per backend: scrubbing needs rowScrub
+    // (Ambit, NVM); RCA runs its duplicate-compute ECC only.
+    const std::vector<Scheme> ambitSchemes = {
+        {"none", core::Protection::None, false},
+        {"none+scrub", core::Protection::None, true},
+        {"ecc", core::Protection::Ecc, false},
+        {"ecc+scrub", core::Protection::Ecc, true},
+        {"tmr", core::Protection::Tmr, false},
+    };
+    const std::vector<Scheme> nvmSchemes = {
+        {"none", core::Protection::None, false},
+        {"none+scrub", core::Protection::None, true},
+    };
+    const std::vector<Scheme> rcaSchemes = {
+        {"none", core::Protection::None, false},
+        {"ecc", core::Protection::Ecc, false},
+    };
+    const std::vector<
+        std::pair<core::BackendKind, const std::vector<Scheme> *>>
+        backends = {
+            {core::BackendKind::Ambit, &ambitSchemes},
+            {core::BackendKind::NvmPinatubo, &nvmSchemes},
+            {core::BackendKind::Rca, &rcaSchemes},
+        };
+
+    std::vector<Cell> cells;
+    for (const auto &[backend, schemes] : backends) {
+        // Clean unprotected baseline for the overhead column.
+        const Scheme base{"none", core::Protection::None, false};
+        const double base_wall =
+            runCell(backend, base, 0.0, scale, ops, expected, seed)
+                .wallS;
+        for (double rate : scale.rates)
+            for (const auto &scheme : *schemes) {
+                cells.push_back(runCell(backend, scheme, rate, scale,
+                                        ops, expected, seed));
+                if (base_wall > 0.0)
+                    cells.back().overhead =
+                        cells.back().wallS / base_wall;
+            }
+    }
+
+    TextTable t({"backend", "protection", "rate", "silent", "maxerr",
+                 "sweeps", "sec-fix", "mirror-fix", "est-rate",
+                 "overhead"});
+    for (const auto &c : cells)
+        t.addRow({c.backend, c.protection, TextTable::fmt(c.rate, 6),
+                  std::to_string(c.silentErrors),
+                  std::to_string(c.maxAbsErr),
+                  std::to_string(c.sweeps),
+                  std::to_string(c.bitsCorrected),
+                  std::to_string(c.wordsRecovered),
+                  TextTable::fmt(c.estRate, 6),
+                  TextTable::fmt(c.overhead, 2)});
+    std::printf("%s", t.render().c_str());
+
+    // CI gate: at the paper's protected operating points (rate <=
+    // 1e-3) a scrub-enabled run must end with zero silent errors.
+    size_t gate_checked = 0, gate_violations = 0;
+    for (const auto &c : cells) {
+        if (!c.scrub || c.rate > 1e-3)
+            continue;
+        ++gate_checked;
+        if (c.silentErrors != 0) {
+            ++gate_violations;
+            std::printf("GATE VIOLATION: %s/%s at %.0e: %zu silent "
+                        "errors\n",
+                        c.backend, c.protection, c.rate,
+                        c.silentErrors);
+        }
+    }
+    std::printf("gate: %zu scrub cells at protected operating "
+                "points, %zu violations\n",
+                gate_checked, gate_violations);
+
+    if (std::FILE *f = std::fopen("BENCH_reliability.json", "w")) {
+        std::fprintf(f,
+                     "{\n  \"bench\": \"fault_campaign\",\n"
+                     "  \"trials\": \"%s\",\n  \"seed\": %llu,\n"
+                     "  \"counters\": %zu,\n  \"ops\": %zu,\n"
+                     "  \"shards\": %u,\n  \"producers\": %u,\n"
+                     "  \"gate_checked\": %zu,\n"
+                     "  \"gate_violations\": %zu,\n"
+                     "  \"cells\": [\n",
+                     small ? "small" : "full",
+                     static_cast<unsigned long long>(seed),
+                     scale.counters, scale.ops, scale.shards,
+                     scale.producers, gate_checked, gate_violations);
+        for (size_t i = 0; i < cells.size(); ++i) {
+            const auto &c = cells[i];
+            std::fprintf(
+                f,
+                "    {\"backend\": \"%s\", \"protection\": \"%s\", "
+                "\"scrub\": %s, \"fault_rate\": %.1e, "
+                "\"silent_errors\": %zu, \"max_abs_err\": %lld, "
+                "\"wall_s\": %.4f, \"overhead\": %.3f, "
+                "\"fabric_commands\": %llu, \"retries\": %llu, "
+                "\"uncorrected_blocks\": %llu, "
+                "\"faults_injected\": %llu, \"sweeps\": %llu, "
+                "\"faulty_bits\": %llu, \"bits_corrected\": %llu, "
+                "\"words_recovered\": %llu, "
+                "\"est_fault_rate\": %.3e}%s\n",
+                c.backend, c.protection, c.scrub ? "true" : "false",
+                c.rate, c.silentErrors,
+                static_cast<long long>(c.maxAbsErr), c.wallS,
+                c.overhead,
+                static_cast<unsigned long long>(c.fabricCommands),
+                static_cast<unsigned long long>(c.retries),
+                static_cast<unsigned long long>(c.uncorrectedBlocks),
+                static_cast<unsigned long long>(c.faultsInjected),
+                static_cast<unsigned long long>(c.sweeps),
+                static_cast<unsigned long long>(c.faultyBits),
+                static_cast<unsigned long long>(c.bitsCorrected),
+                static_cast<unsigned long long>(c.wordsRecovered),
+                c.estRate, i + 1 < cells.size() ? "," : "");
+        }
+        std::fprintf(f, "  ]\n}\n");
+        std::fclose(f);
+        std::printf("wrote BENCH_reliability.json\n");
+    }
+    return gate_violations == 0 ? 0 : 1;
+}

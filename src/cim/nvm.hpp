@@ -113,6 +113,7 @@ class NvmMachine
     void run(const NvmProgram &prog);
 
     OpStats &stats() { return stats_; }
+    const OpStats &stats() const { return stats_; }
 
   private:
     BitVector readRef(const NvmRef &ref) const;

@@ -106,6 +106,26 @@ CountingBackend::voteDigit(const std::array<unsigned, 3> &, unsigned)
               " backend does not support TMR voting");
 }
 
+const BitVector &
+CountingBackend::scrubReadRow(unsigned)
+{
+    C2M_PANIC(backendName(kind()),
+              " backend does not support row scrubbing");
+}
+
+void
+CountingBackend::scrubWriteRow(unsigned, const BitVector &)
+{
+    C2M_PANIC(backendName(kind()),
+              " backend does not support row scrubbing");
+}
+
+bool
+CountingBackend::setFrChecks(unsigned)
+{
+    return false;
+}
+
 const jc::CounterLayout &
 CountingBackend::layout(unsigned) const
 {

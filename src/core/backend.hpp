@@ -75,6 +75,13 @@ struct BackendCaps
      * carries in-place and ripple calls are no-ops.
      */
     bool pendingFlags = false;
+    /**
+     * Reliable host-level access to individual fabric rows
+     * (scrubReadRow / scrubWriteRow), the seam the online scrubber
+     * sweeps counter state through. True for the JC row-layout
+     * fabrics (Ambit, NVM).
+     */
+    bool rowScrub = false;
 };
 
 class CountingBackend
@@ -150,6 +157,34 @@ class CountingBackend
 
     /** Zero every counter of every physical group. */
     virtual void clearCounters() = 0;
+
+    // ---- Fabric introspection and online-reliability hooks ----
+
+    /**
+     * Command/fault tallies of the underlying fabric simulator
+     * (AAP/AP, triple activations, injected fault bits, host row
+     * accesses). Substrates without such a tally return zeros.
+     */
+    virtual cim::OpStats opStats() const { return {}; }
+
+    /**
+     * Reliable (memory-controller) read of raw fabric row @p row,
+     * counted as a host row read (caps().rowScrub).
+     */
+    virtual const BitVector &scrubReadRow(unsigned row);
+
+    /** Reliable overwrite of raw fabric row @p row (caps().rowScrub). */
+    virtual void scrubWriteRow(unsigned row, const BitVector &v);
+
+    /**
+     * Retune the FR-check count of protected programs at run time
+     * (adaptive protection). Regenerates programs lazily: the program
+     * cache is dropped so later updates pick up the new check count.
+     * Returns false on substrates whose protection is not FR-based.
+     * Callers must hold the single-writer discipline of the owning
+     * shard — typically only at an epoch boundary.
+     */
+    virtual bool setFrChecks(unsigned fr_checks);
 
     // ---- Row-level logic for tensor ops (caps().tensorOps) ----
 

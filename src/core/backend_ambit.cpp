@@ -29,12 +29,41 @@ AmbitBackend::AmbitBackend(const EngineConfig &cfg,
     caps_.signedCounting = true;
     caps_.tensorOps = true;
     caps_.pendingFlags = true;
+    caps_.rowScrub = true;
 
-    uprog::CodegenOptions copts;
-    copts.protect = cfg.protection == Protection::Ecc;
-    copts.frChecks = cfg.frChecks;
+    copts_.protect = cfg.protection == Protection::Ecc;
+    copts_.frChecks = cfg.frChecks;
     for (const auto &l : layouts_)
-        codegen_.emplace_back(l, copts);
+        codegen_.emplace_back(l, copts_);
+}
+
+const BitVector &
+AmbitBackend::scrubReadRow(unsigned row)
+{
+    return sub_.hostReadRow(row);
+}
+
+void
+AmbitBackend::scrubWriteRow(unsigned row, const BitVector &v)
+{
+    sub_.hostWriteRow(row, v);
+}
+
+bool
+AmbitBackend::setFrChecks(unsigned fr_checks)
+{
+    C2M_ASSERT(fr_checks >= 1 && fr_checks <= 3,
+               "frChecks must be in 1..3");
+    if (!copts_.protect)
+        return false;
+    if (copts_.frChecks == fr_checks)
+        return true;
+    copts_.frChecks = fr_checks;
+    codegen_.clear();
+    for (const auto &l : layouts_)
+        codegen_.emplace_back(l, copts_);
+    cache_.clear();
+    return true;
 }
 
 unsigned

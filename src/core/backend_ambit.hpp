@@ -53,6 +53,11 @@ class AmbitBackend final : public CountingBackend
                                     unsigned digit) override;
     void clearCounters() override;
 
+    cim::OpStats opStats() const override { return sub_.stats(); }
+    const BitVector &scrubReadRow(unsigned row) override;
+    void scrubWriteRow(unsigned row, const BitVector &v) override;
+    bool setFrChecks(unsigned fr_checks) override;
+
     const jc::CounterLayout &layout(unsigned phys) const override;
     void rowCopy(unsigned src, unsigned dst) override;
     void rowOr(unsigned a, unsigned b, unsigned dst) override;
@@ -71,6 +76,7 @@ class AmbitBackend final : public CountingBackend
     size_t numCounters_;
     unsigned maxRetries_;
     std::vector<jc::CounterLayout> layouts_;
+    uprog::CodegenOptions copts_;
     std::vector<uprog::AmbitCodegen> codegen_;
     unsigned maskBase_;
     cim::AmbitSubarray sub_;

@@ -37,9 +37,23 @@ NvmBackend::NvmBackend(const EngineConfig &cfg,
 {
     caps_.signedCounting = true;
     caps_.pendingFlags = true;
+    caps_.rowScrub = true;
 
     for (const auto &l : layouts_)
         codegen_.emplace_back(l, tech_);
+}
+
+const BitVector &
+NvmBackend::scrubReadRow(unsigned row)
+{
+    ++mach_.stats().rowReads;
+    return mach_.row(row);
+}
+
+void
+NvmBackend::scrubWriteRow(unsigned row, const BitVector &v)
+{
+    mach_.writeRow(row, v);
 }
 
 unsigned

@@ -56,6 +56,10 @@ class NvmBackend final : public CountingBackend
                                     unsigned digit) override;
     void clearCounters() override;
 
+    cim::OpStats opStats() const override { return mach_.stats(); }
+    const BitVector &scrubReadRow(unsigned row) override;
+    void scrubWriteRow(unsigned row, const BitVector &v) override;
+
     const jc::CounterLayout &layout(unsigned phys) const override;
 
     /** The underlying machine (white-box tests, op stats). */

@@ -56,6 +56,8 @@ class RcaBackend final : public CountingBackend
                                     unsigned digit) override;
     void clearCounters() override;
 
+    cim::OpStats opStats() const override { return sub_.stats(); }
+
     /** The underlying fabric simulator (white-box tests, op stats). */
     cim::AmbitSubarray &subarray() { return sub_; }
 

@@ -18,6 +18,12 @@ EngineStats::toCounters() const
         {"engine.vote_ops", voteOps},
         {"engine.program_cache_hits", programCacheHits},
         {"engine.program_cache_misses", programCacheMisses},
+        {"engine.fabric.aap", fabric.aap},
+        {"engine.fabric.ap", fabric.ap},
+        {"engine.fabric.tra", fabric.tra},
+        {"engine.fabric.faults_injected", fabric.faultsInjected},
+        {"engine.fabric.row_reads", fabric.rowReads},
+        {"engine.fabric.row_writes", fabric.rowWrites},
     };
 }
 

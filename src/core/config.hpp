@@ -16,6 +16,7 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "cim/fault.hpp"
 #include "common/stats.hpp"
 
 namespace c2m {
@@ -90,6 +91,15 @@ struct EngineStats
     uint64_t programCacheMisses = 0; ///< programs generated fresh
 
     /**
+     * Fabric-level command and fault tallies (AAP/AP commands, triple
+     * activations, injected fault bits, host row accesses), copied
+     * from the backend's simulator by C2MEngine::stats() so merged
+     * service reports expose fault activity next to the engine-level
+     * protection counters.
+     */
+    cim::OpStats fabric;
+
+    /**
      * Field-wise sum, used to merge per-shard stats into one view.
      * When adding a field above, extend this too — the
      * EngineStatsMerge test pins sizeof(EngineStats) so a new field
@@ -108,6 +118,7 @@ struct EngineStats
         voteOps += o.voteOps;
         programCacheHits += o.programCacheHits;
         programCacheMisses += o.programCacheMisses;
+        fabric += o.fabric;
         return *this;
     }
 

@@ -46,7 +46,19 @@ class C2MEngine
     ~C2MEngine();
 
     const EngineConfig &config() const { return cfg_; }
-    const EngineStats &stats() const { return stats_; }
+
+    /**
+     * Engine-level protection/cache counters with the backend's
+     * fabric tallies (commands, injected faults, host row accesses)
+     * merged in. Returned by value: the fabric part is sampled from
+     * the simulator at call time.
+     */
+    EngineStats stats() const
+    {
+        EngineStats s = stats_;
+        s.fabric = backend_->opStats();
+        return s;
+    }
 
     /** The counting substrate this engine drives. */
     CountingBackend &backend() { return *backend_; }
@@ -60,6 +72,15 @@ class C2MEngine
 
     /** JC row layout (JC backends only: Ambit and NVM). */
     const jc::CounterLayout &layout(unsigned group = 0) const;
+
+    /** Physical replica count per logical group (3 for TMR). */
+    unsigned numReplicas() const { return replicas(); }
+
+    /** Physical group index of (logical group, replica). */
+    unsigned physicalGroup(unsigned group, unsigned replica) const
+    {
+        return physIndex(group, replica);
+    }
 
     /** Store a binary mask (the next row of Z); returns its handle. */
     unsigned addMask(const std::vector<uint8_t> &mask);

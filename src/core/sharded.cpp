@@ -116,6 +116,18 @@ ShardedEngine::runShardOps(unsigned s, std::span<const BatchOp> ops)
 }
 
 void
+ShardedEngine::runShardTask(
+    unsigned s, const std::function<void(C2MEngine &, size_t)> &fn)
+{
+    C2M_ASSERT(s < numShards(), "shard index out of range: ", s);
+    C2M_ASSERT(!shardBusy_[s].exchange(true,
+                                       std::memory_order_acquire),
+               "concurrent writers on shard ", s);
+    fn(*shards_[s], starts_[s]);
+    shardBusy_[s].store(false, std::memory_order_release);
+}
+
+void
 ShardedEngine::runShardBatch(unsigned s, std::span<const BatchOp> ops)
 {
     C2MEngine &eng = *shards_[s];

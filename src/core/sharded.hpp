@@ -34,6 +34,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 #include <vector>
@@ -105,6 +106,18 @@ class ShardedEngine
      * per-shard op order is whatever order the buckets are run in.
      */
     void runShardOps(unsigned s, std::span<const BatchOp> ops);
+
+    /**
+     * Run an arbitrary task against shard @p s on the calling thread
+     * under the same single-writer guard as runShardOps. This is the
+     * scrub entry point: a reliability sweep may run on any lane (or
+     * the drainer thread) while other shards keep executing, but two
+     * writers inside one shard panic. @p fn receives the shard engine
+     * and the shard's first logical counter index.
+     */
+    void runShardTask(
+        unsigned s,
+        const std::function<void(C2MEngine &, size_t)> &fn);
 
     /** The lane pool shard work is scheduled on (lane s = shard s). */
     ThreadPool &pool() { return pool_; }

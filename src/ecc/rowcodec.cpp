@@ -16,7 +16,7 @@ uint64_t
 RowCodec::dataWord(const BitVector &row, size_t w) const
 {
     C2M_ASSERT(w < numWords_, "word index out of range");
-    C2M_ASSERT(row.size() >= totalBits(), "row lacks parity lanes");
+    C2M_ASSERT(row.size() >= dataBits_, "row lacks data columns");
     // Data occupies bit positions [0, dataBits); when dataBits is a
     // multiple of 64 this is exactly the storage word.
     uint64_t v = 0;
@@ -90,6 +90,58 @@ RowCodec::correctRow(BitVector &row) const
             ++res.uncorrectable;
             break;
         }
+    }
+    return res;
+}
+
+void
+RowCodec::encodeRows(std::vector<BitVector> &rows) const
+{
+    for (auto &row : rows)
+        encodeRow(row);
+}
+
+RowCodec::CorrectResult
+RowCodec::correctRows(std::vector<BitVector> &rows) const
+{
+    CorrectResult total;
+    for (auto &row : rows) {
+        const auto res = correctRow(row);
+        total.corrected += res.corrected;
+        total.uncorrectable += res.uncorrectable;
+    }
+    return total;
+}
+
+RowCodec::CorrectResult
+RowCodec::scrubRow(BitVector &data, const BitVector &encoded) const
+{
+    C2M_ASSERT(data.size() >= dataBits_, "fabric row too narrow");
+    C2M_ASSERT(encoded.size() >= totalBits(),
+               "trusted image lacks parity lanes");
+
+    CorrectResult res;
+    for (size_t w = 0; w < numWords_; ++w) {
+        const uint64_t got = dataWord(data, w);
+        const uint64_t want = dataWord(encoded, w);
+        if (got == want)
+            continue;
+        const auto dec = Hamming72::decode(got, parityOf(encoded, w));
+        uint64_t fixed;
+        if (dec.result == Hamming72::Result::Corrected &&
+            dec.data == want) {
+            ++res.corrected;
+            fixed = dec.data;
+        } else {
+            // Double error, or a dense flip pattern the SEC-DED code
+            // would silently miscorrect: fall back on the trusted
+            // image.
+            ++res.uncorrectable;
+            fixed = want;
+        }
+        const size_t base = w * 64;
+        for (size_t b = 0; b < 64 && base + b < dataBits_; ++b)
+            data.set(base + b, (fixed >> b) & 1);
     }
     return res;
 }

@@ -52,6 +52,30 @@ class RowCodec
     /** Extract word @p w of the data prefix. */
     uint64_t dataWord(const BitVector &row, size_t w) const;
 
+    // ---- Batch decode-correct path (scrub sweeps) ----
+
+    /** encodeRow over every row of @p rows. */
+    void encodeRows(std::vector<BitVector> &rows) const;
+
+    /** correctRow over every row of @p rows; aggregate result. */
+    CorrectResult correctRows(std::vector<BitVector> &rows) const;
+
+    /**
+     * Scrub one fabric row against a trusted encoded image: decode
+     * the codeword [@p data | parity lanes of @p encoded], correct
+     * single-flip words through the code, and repair words the code
+     * flags (or miscorrects) from @p encoded's data — the journal/
+     * checkpoint fallback. On return @p data equals @p encoded's data
+     * prefix exactly.
+     *
+     * @param data     fabric row, dataBits() columns (corrected in place)
+     * @param encoded  trusted totalBits() image with valid parity
+     * @return corrected = words fixed by the code alone,
+     *         uncorrectable = words that needed the trusted image.
+     */
+    CorrectResult scrubRow(BitVector &data,
+                           const BitVector &encoded) const;
+
   private:
     uint8_t parityOf(const BitVector &row, size_t w) const;
     void setParity(BitVector &row, size_t w, uint8_t parity) const;

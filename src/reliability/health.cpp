@@ -1,0 +1,94 @@
+#include "reliability/health.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "ecc/analysis.hpp"
+
+namespace c2m {
+namespace reliability {
+
+HealthMonitor::HealthMonitor(const HealthConfig &cfg) : cfg_(cfg)
+{
+    C2M_ASSERT(cfg.ewmaAlpha > 0.0 && cfg.ewmaAlpha <= 1.0,
+               "ewmaAlpha must be in (0, 1]");
+    C2M_ASSERT(cfg.minInterval >= 1 &&
+                   cfg.minInterval <= cfg.maxInterval,
+               "interval clamp must satisfy 1 <= min <= max");
+}
+
+void
+HealthMonitor::observe(const ScrubObservation &o)
+{
+    const uint64_t trials = o.traDelta * o.rowBits;
+    if (trials == 0 && o.faultyBits == 0)
+        return; // idle sweep: no evidence either way
+    const double p =
+        trials ? static_cast<double>(o.faultyBits) /
+                     static_cast<double>(trials)
+               : 0.0;
+    const double f =
+        o.wordsSwept
+            ? static_cast<double>(o.faultyBits) /
+                  (static_cast<double>(o.wordsSwept) *
+                   static_cast<double>(std::max<uint64_t>(
+                       o.boundaries, 1)))
+            : 0.0;
+    if (samples_ == 0) {
+        pEwma_ = p;
+        fEwma_ = f;
+    } else {
+        pEwma_ += cfg_.ewmaAlpha * (p - pEwma_);
+        fEwma_ += cfg_.ewmaAlpha * (f - fEwma_);
+    }
+    ++samples_;
+}
+
+double
+HealthMonitor::projectedUndetectedRate(unsigned fr_checks) const
+{
+    return ecc::ProtectionModel::undetectedErrorRate(pEwma_,
+                                                     2 * fr_checks);
+}
+
+unsigned
+HealthMonitor::recommendedFrChecks() const
+{
+    for (unsigned c = 1; c <= 3; ++c)
+        if (projectedUndetectedRate(c) <= cfg_.targetUndetectedRate)
+            return c;
+    return 3;
+}
+
+unsigned
+HealthMonitor::recommendedInterval() const
+{
+    if (fEwma_ <= 0.0)
+        return cfg_.maxInterval;
+    const double bound =
+        std::sqrt(2.0 * cfg_.targetWordDoubleFlip) / fEwma_;
+    const double clamped = std::clamp(
+        bound, static_cast<double>(cfg_.minInterval),
+        static_cast<double>(cfg_.maxInterval));
+    return static_cast<unsigned>(clamped);
+}
+
+CounterMap
+HealthMonitor::toCounters() const
+{
+    const auto ppt = [](double rate) {
+        return static_cast<uint64_t>(
+            std::min(rate, 1.0) * 1e12);
+    };
+    return {
+        {"health.samples", samples_},
+        {"health.fault_rate_ppt", ppt(pEwma_)},
+        {"health.flips_per_word_ppt", ppt(fEwma_)},
+        {"health.recommended_fr_checks", recommendedFrChecks()},
+        {"health.recommended_interval", recommendedInterval()},
+    };
+}
+
+} // namespace reliability
+} // namespace c2m

@@ -1,0 +1,126 @@
+#include "reliability/mirror.hpp"
+
+#include "common/logging.hpp"
+#include "jc/johnson.hpp"
+
+namespace c2m {
+namespace reliability {
+
+RowMirror::RowMirror(const jc::CounterLayout &layout, size_t cols)
+    : radix_(layout.radix()),
+      bits_(layout.bitsPerDigit()),
+      digits_(layout.numDigits()),
+      cols_(cols),
+      codec_(cols)
+{
+    C2M_ASSERT(cols >= 1, "mirror needs at least one column");
+    rows_.assign(digits_ * bits_ + digits_ + 1,
+                 BitVector(codec_.totalBits()));
+    encodeValues(std::vector<int64_t>(cols, 0));
+}
+
+unsigned
+RowMirror::fabricRow(const jc::CounterLayout &layout, size_t r) const
+{
+    C2M_ASSERT(r < numRows(), "mirror row out of range: ", r);
+    const size_t nbits = size_t{digits_} * bits_;
+    if (r < nbits)
+        return layout.bitRow(static_cast<unsigned>(r / bits_),
+                             static_cast<unsigned>(r % bits_));
+    if (r < nbits + digits_)
+        return layout.onextRow(static_cast<unsigned>(r - nbits));
+    return layout.osignRow();
+}
+
+void
+RowMirror::encodeValues(std::span<const int64_t> values)
+{
+    C2M_ASSERT(values.size() == cols_, "value count != mirror width");
+    for (auto &row : rows_)
+        row.fill(false);
+
+    __int128 modulus = 1;
+    for (unsigned d = 0; d < digits_; ++d)
+        modulus *= radix_;
+
+    BitVector &osign = rows_[size_t{digits_} * bits_ + digits_];
+    for (size_t c = 0; c < cols_; ++c) {
+        __int128 m = values[c];
+        const bool neg = m < 0;
+        if (neg) {
+            m += modulus;
+            osign.set(c, true);
+        }
+        C2M_ASSERT(m >= 0 && m < modulus,
+                   "counter value exceeds JC modulus");
+        for (unsigned d = 0; d < digits_; ++d) {
+            const unsigned digit = static_cast<unsigned>(m % radix_);
+            m /= radix_;
+            const uint64_t bits = jc::encode(bits_, digit);
+            for (unsigned i = 0; i < bits_; ++i)
+                if ((bits >> i) & 1)
+                    rows_[size_t{d} * bits_ + i].set(c, true);
+        }
+    }
+    codec_.encodeRows(rows_);
+}
+
+std::vector<int64_t>
+RowMirror::decodeValues(ecc::RowCodec::CorrectResult *store_scrub)
+{
+    const auto res = codec_.correctRows(rows_);
+    if (store_scrub)
+        *store_scrub = res;
+
+    __int128 modulus = 1;
+    for (unsigned d = 0; d < digits_; ++d)
+        modulus *= radix_;
+
+    const BitVector &osign = rows_[size_t{digits_} * bits_ + digits_];
+    std::vector<int64_t> values(cols_);
+    for (size_t c = 0; c < cols_; ++c) {
+        __int128 value = 0;
+        __int128 weight = 1;
+        for (unsigned d = 0; d < digits_; ++d) {
+            uint64_t bits = 0;
+            for (unsigned i = 0; i < bits_; ++i)
+                if (rows_[size_t{d} * bits_ + i].get(c))
+                    bits |= 1ULL << i;
+            int v = jc::decode(bits_, bits);
+            if (v < 0)
+                v = static_cast<int>(jc::decodeNearest(bits_, bits));
+            value += static_cast<__int128>(v) * weight;
+            weight *= radix_;
+        }
+        if (osign.get(c))
+            value -= modulus;
+        values[c] = static_cast<int64_t>(value);
+    }
+    return values;
+}
+
+BitVector
+RowMirror::dataBits(size_t r) const
+{
+    BitVector out(cols_);
+    dataBitsInto(r, out);
+    return out;
+}
+
+void
+RowMirror::dataBitsInto(size_t r, BitVector &out) const
+{
+    C2M_ASSERT(r < numRows(), "mirror row out of range: ", r);
+    C2M_ASSERT(out.size() == cols_, "output must be cols() wide");
+    const BitVector &src = rows_[r];
+    for (size_t w = 0; w < out.numWords(); ++w)
+        out.word(w) = src.word(w);
+    // Mask the tail: the last data word may hold parity-lane bits.
+    if (cols_ % 64) {
+        const uint64_t mask = (uint64_t{1} << (cols_ % 64)) - 1;
+        out.word(out.numWords() - 1) &= mask;
+    }
+}
+
+} // namespace reliability
+} // namespace c2m

@@ -1,0 +1,95 @@
+#ifndef C2M_RELIABILITY_MIRROR_HPP
+#define C2M_RELIABILITY_MIRROR_HPP
+
+/**
+ * @file
+ * ECC-encoded mirror of one counter group's canonical row image.
+ *
+ * A RowMirror is the scrubber's trusted side store: for every
+ * persistent counter-state row of a group (digit bit rows, Onext
+ * rows, Osign) it keeps the *canonical* image — the bit pattern a
+ * fault-free engine holds right after drain(): Onext all zero, each
+ * digit the Johnson encoding of the value's base-R digit, Osign set
+ * exactly on negative columns. Images are widened with
+ * ecc::RowCodec parity lanes, modelling spare ECC-protected rows
+ * maintained through the reliable host RD/WR path; the store itself
+ * is scrubbed (decode-correct-re-encode) on every sweep so it
+ * tolerates its own bit decay.
+ *
+ * Canonical form is a pure function of the counter values, which is
+ * what makes epoch-boundary scrubbing exact: expected values =
+ * mirrored values + journaled deltas, and the fabric is drained
+ * before comparison so any bit-level deviation from
+ * encodeValues(expected) is a fault by construction (pinned by the
+ * CanonicalEncode tests in test_reliability.cpp).
+ */
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/bitvec.hpp"
+#include "ecc/rowcodec.hpp"
+#include "jc/layout.hpp"
+
+namespace c2m {
+namespace reliability {
+
+class RowMirror
+{
+  public:
+    /**
+     * @param layout JC layout of the mirrored group (any replica;
+     *        only radix/digit geometry is used).
+     * @param cols   counter columns of the owning shard.
+     */
+    RowMirror(const jc::CounterLayout &layout, size_t cols);
+
+    size_t cols() const { return cols_; }
+    /** Persistent counter-state rows: D*n bit rows + D Onext + Osign. */
+    size_t numRows() const { return rows_.size(); }
+    const ecc::RowCodec &codec() const { return codec_; }
+
+    /**
+     * Fabric row index of mirror row @p r under @p layout (the
+     * replica being swept). Mirror rows are ordered bit rows first
+     * (digit-major), then Onext rows, then Osign.
+     */
+    unsigned fabricRow(const jc::CounterLayout &layout, size_t r) const;
+
+    /** Encoded (data + parity) image of mirror row @p r. */
+    const BitVector &row(size_t r) const { return rows_[r]; }
+    BitVector &row(size_t r) { return rows_[r]; }
+
+    /** Replace the store with the canonical encoding of @p values. */
+    void encodeValues(std::span<const int64_t> values);
+
+    /**
+     * SEC-DED pass over the store itself, then decode the mirrored
+     * counter values. Words the code cannot repair are decoded
+     * nearest-state (the affected counters lose exactness until the
+     * next encodeValues); the aggregate correction result is returned
+     * through @p store_scrub when non-null.
+     */
+    std::vector<int64_t>
+    decodeValues(ecc::RowCodec::CorrectResult *store_scrub = nullptr);
+
+    /** Copy the data prefix of mirror row @p r (fabric width). */
+    BitVector dataBits(size_t r) const;
+
+    /** Allocation-free variant: @p out must be cols() wide. */
+    void dataBitsInto(size_t r, BitVector &out) const;
+
+  private:
+    unsigned radix_;
+    unsigned bits_;    ///< bits per digit (n)
+    unsigned digits_;  ///< digit count (D)
+    size_t cols_;
+    ecc::RowCodec codec_;
+    std::vector<BitVector> rows_;
+};
+
+} // namespace reliability
+} // namespace c2m
+
+#endif // C2M_RELIABILITY_MIRROR_HPP

@@ -1,6 +1,7 @@
 #include "service/ingest.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/logging.hpp"
 #include "service/coalesce.hpp"
@@ -38,6 +39,27 @@ IngestService::IngestService(core::ShardedEngine &engine,
 }
 
 IngestService::~IngestService() { stop(); }
+
+void
+IngestService::attachObserver(EpochObserver *observer)
+{
+    std::lock_guard<std::mutex> lk(m_);
+    if (observer) {
+        C2M_ASSERT(cutEpoch_ == 0 &&
+                       queuedOps_.load(std::memory_order_relaxed) ==
+                           0,
+                   "attach the epoch observer before submitting "
+                   "traffic");
+    } else {
+        // Detach requires a quiescent service (no epoch in flight,
+        // nothing queued, no concurrent producers).
+        C2M_ASSERT(cutEpoch_ == appliedEpoch_ &&
+                       queuedOps_.load(std::memory_order_relaxed) ==
+                           0,
+                   "detach the epoch observer only while idle");
+    }
+    observer_ = observer;
+}
 
 size_t
 IngestService::submit(std::span<const core::BatchOp> ops)
@@ -147,6 +169,18 @@ IngestService::stop()
     }
     if (drainer_.joinable())
         drainer_.join();
+    EpochObserver *observer;
+    {
+        // The straggler + observer shutdown turn runs exactly once;
+        // a second stop() (typically the destructor's) must not call
+        // back into an observer the caller may have destroyed. The
+        // observer pointer is snapshotted under m_ like report()'s.
+        std::lock_guard<std::mutex> lk(m_);
+        if (stopFinalized_)
+            return;
+        stopFinalized_ = true;
+        observer = observer_;
+    }
     for (auto &q : queues_)
         q->close();
     // Ops that slipped in between the drainer's last epoch and
@@ -165,8 +199,26 @@ IngestService::stop()
         es.flushedOps = ops.size();
         std::lock_guard<std::mutex> ek(engineMutex_);
         engine_.runShardOps(s, ops);
+        if (observer)
+            observer->onShardOps(s, ops);
         std::lock_guard<std::mutex> lk(m_);
         stats_ += es;
+    }
+    // Final observer turn: an attached scrubber must reconcile
+    // everything it deferred (budgeted or interval-spaced sweeps),
+    // stragglers included, before the engine is read post-stop.
+    // Epoch labels are not advanced here — straggler application is
+    // outside the epoch protocol whether or not an observer is
+    // attached, and every pre-stop flush token was already satisfied
+    // by the drainer before it exited.
+    if (observer) {
+        std::lock_guard<std::mutex> ek(engineMutex_);
+        uint64_t final_epoch;
+        {
+            std::lock_guard<std::mutex> lk(m_);
+            final_epoch = appliedEpoch_;
+        }
+        observer->onStop(final_epoch);
     }
 }
 
@@ -199,7 +251,22 @@ CounterMap
 IngestService::report() const
 {
     CounterMap merged = serviceStats().toCounters();
-    return mergeCounters(merged, engineStats().toCounters());
+    mergeCounters(merged, engineStats().toCounters());
+    const auto lat = drainLatency();
+    merged["service.drain_p50_us"] = lat.p50;
+    merged["service.drain_p95_us"] = lat.p95;
+    merged["service.drain_p99_us"] = lat.p99;
+    merged["service.drain_max_us"] = lat.max;
+    EpochObserver *observer;
+    {
+        // Snapshot under m_: attachObserver() writes under the same
+        // lock, so a detach racing this report is ordered.
+        std::lock_guard<std::mutex> lk(m_);
+        observer = observer_;
+    }
+    if (observer)
+        mergeCounters(merged, observer->counters());
+    return merged;
 }
 
 void
@@ -261,18 +328,70 @@ IngestService::runEpoch(uint64_t epoch)
     for (const auto &b : buckets)
         es.flushedOps += b.ops.size();
 
+    const auto t0 = std::chrono::steady_clock::now();
     {
         std::lock_guard<std::mutex> ek(engineMutex_);
         executeEpoch(epoch, buckets, es);
+        if (observer_) {
+            // Observer hooks run before the epoch is marked applied,
+            // so a scrub at the boundary is visible to every snapshot
+            // waiting on this epoch.
+            for (const auto &b : buckets)
+                observer_->onShardOps(b.shard, b.ops);
+            observer_->onEpochApplied(epoch);
+        }
+        const auto us =
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
         // Applied-marking happens inside engineMutex_ so a snapshot
         // taken between epochs sees an epoch label matching the
         // counters it reads.
         std::lock_guard<std::mutex> lk(m_);
         appliedEpoch_ = epoch;
         stats_ += es;
+        recordDrainLatency(static_cast<uint64_t>(us));
         epochCv_.notify_all();
     }
     return cut_total;
+}
+
+void
+IngestService::recordDrainLatency(uint64_t us)
+{
+    const auto clamped = static_cast<uint32_t>(
+        std::min<uint64_t>(us, ~uint32_t{0}));
+    if (drainUs_.size() < kLatencyWindow) {
+        drainUs_.push_back(clamped);
+    } else {
+        drainUs_[drainNext_] = clamped;
+        drainNext_ = (drainNext_ + 1) % kLatencyWindow;
+    }
+}
+
+DrainLatency
+IngestService::drainLatency() const
+{
+    std::vector<uint32_t> lat;
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        lat = drainUs_;
+    }
+    DrainLatency out;
+    out.samples = lat.size();
+    if (lat.empty())
+        return out;
+    std::sort(lat.begin(), lat.end());
+    const auto at = [&](double q) -> uint64_t {
+        const size_t i = static_cast<size_t>(
+            q * static_cast<double>(lat.size() - 1) + 0.5);
+        return lat[std::min(i, lat.size() - 1)];
+    };
+    out.p50 = at(0.50);
+    out.p95 = at(0.95);
+    out.p99 = at(0.99);
+    out.max = lat.back();
+    return out;
 }
 
 void

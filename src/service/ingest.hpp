@@ -100,6 +100,51 @@ struct ServiceStats
     CounterMap toCounters() const;
 };
 
+/**
+ * Hook into the drainer's epoch boundary. The service invokes the
+ * observer from the drainer thread while it holds the engine: after
+ * an epoch's buckets have executed, onShardOps() reports each
+ * shard's applied (coalesced) ops, then onEpochApplied() marks the
+ * boundary — the engine is quiescent for its whole duration, so the
+ * observer may drive it (this is where the reliability scrubber
+ * sweeps counter rows). Both run *before* the epoch is marked
+ * applied: snapshot readers waiting on the epoch see the
+ * post-observer state. counters() is merged into report().
+ */
+class EpochObserver
+{
+  public:
+    virtual ~EpochObserver() = default;
+
+    /** Ops of @p shard just applied to the engine (epoch executing). */
+    virtual void onShardOps(unsigned shard,
+                            std::span<const core::BatchOp> ops) = 0;
+
+    /** Epoch @p epoch fully executed; engine quiescent. */
+    virtual void onEpochApplied(uint64_t epoch) = 0;
+
+    /**
+     * Service shutting down after the last ops were applied; the
+     * engine stays quiescent from here on. Observers that defer work
+     * across boundaries (budgeted/interval scrubbing) must finish it
+     * now so post-stop engine reads see fully reconciled state.
+     */
+    virtual void onStop(uint64_t epoch) { onEpochApplied(epoch); }
+
+    /** Named counters merged into IngestService::report(). */
+    virtual CounterMap counters() const { return {}; }
+};
+
+/** Drain-latency distribution over recent epochs (microseconds). */
+struct DrainLatency
+{
+    uint64_t samples = 0; ///< epochs timed (window-limited)
+    uint64_t p50 = 0;
+    uint64_t p95 = 0;
+    uint64_t p99 = 0;
+    uint64_t max = 0;
+};
+
 class IngestService
 {
   public:
@@ -116,6 +161,14 @@ class IngestService
 
     const IngestConfig &config() const { return cfg_; }
     core::ShardedEngine &engine() { return engine_; }
+
+    /**
+     * Attach an epoch-boundary observer (e.g. a
+     * reliability::Scrubber). Must be called before any traffic is
+     * submitted; the observer must outlive the service. Pass nullptr
+     * to detach (only while idle).
+     */
+    void attachObserver(EpochObserver *observer);
 
     /**
      * Submit ops from any thread; returns how many were accepted
@@ -159,8 +212,17 @@ class IngestService
     ServiceStats serviceStats() const;
     /** Engine stats, read race-free against the drainer. */
     core::EngineStats engineStats() const;
-    /** Merged service.* + engine.* counters, renderCounters-ready. */
+    /**
+     * Merged service.* + engine.* (+ observer) counters plus the
+     * drain-latency percentiles, renderCounters-ready.
+     */
     CounterMap report() const;
+
+    /**
+     * p50/p95/p99/max of the per-epoch drain latency (cut through
+     * observer hooks) over the most recent epochs.
+     */
+    DrainLatency drainLatency() const;
 
   private:
     struct Bucket
@@ -177,8 +239,12 @@ class IngestService
     /** Producer-side: force a drain now (full queue, flush). */
     void kick();
 
+    /** Push one epoch's drain time into the ring (m_ held). */
+    void recordDrainLatency(uint64_t us);
+
     core::ShardedEngine &engine_;
     const IngestConfig cfg_;
+    EpochObserver *observer_ = nullptr;
     std::vector<std::unique_ptr<BoundedOpQueue>> queues_;
     /** Total pending ops; adjusted under the owning queue's mutex. */
     std::atomic<size_t> queuedOps_{0};
@@ -191,7 +257,13 @@ class IngestService
     uint64_t flushTarget_ = 0;  ///< newest token    (guarded by m_)
     bool forceDrain_ = false;   ///< guarded by m_
     bool stop_ = false;         ///< guarded by m_
+    bool stopFinalized_ = false; ///< stop() ran once (guarded by m_)
     ServiceStats stats_;        ///< epoch-side sums (guarded by m_)
+
+    /** Ring of recent per-epoch drain latencies in us (guarded by m_). */
+    static constexpr size_t kLatencyWindow = 4096;
+    std::vector<uint32_t> drainUs_;
+    size_t drainNext_ = 0;      ///< ring cursor   (guarded by m_)
 
     /** Serializes epoch execution against snapshot reads. */
     mutable std::mutex engineMutex_;

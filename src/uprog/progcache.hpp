@@ -99,6 +99,12 @@ template <typename Program> class ProgramCache
     bool enabled() const { return enabled_; }
     size_t size() const { return map_.size(); }
 
+    /**
+     * Drop every cached program (e.g. after the generator's options
+     * changed); later lookups regenerate and count as misses.
+     */
+    void clear() { map_.clear(); }
+
   private:
     bool enabled_;
     uint64_t &hits_;

@@ -300,6 +300,38 @@ TEST(Ingest, ReportMergesServiceAndEngineCounters)
     const auto text = renderCounters(report);
     EXPECT_NE(text.find("service.epochs"), std::string::npos);
     EXPECT_NE(text.find("engine.increments"), std::string::npos);
+
+    // Fabric-level command tallies ride along in the merged view.
+    ASSERT_TRUE(report.count("engine.fabric.tra"));
+    EXPECT_GT(report.at("engine.fabric.tra"), 0u);
+    EXPECT_EQ(report.at("engine.fabric.faults_injected"), 0u);
+}
+
+TEST(Ingest, DrainLatencyPercentilesTrackEpochs)
+{
+    const auto cfg = baseConfig(64);
+    ShardedEngine engine(cfg, 4);
+    IngestService svc(engine);
+    EXPECT_EQ(svc.drainLatency().samples, 0u);
+
+    const auto ops = randomOps(400, cfg.numCounters, 29, false);
+    for (size_t lo = 0; lo < ops.size(); lo += 50) {
+        svc.submit(std::span<const BatchOp>(ops).subspan(lo, 50));
+        svc.flushAndWait();
+    }
+
+    const auto lat = svc.drainLatency();
+    EXPECT_GT(lat.samples, 0u);
+    EXPECT_EQ(lat.samples, svc.serviceStats().epochs);
+    EXPECT_LE(lat.p50, lat.p95);
+    EXPECT_LE(lat.p95, lat.p99);
+    EXPECT_LE(lat.p99, lat.max);
+
+    const auto report = svc.report();
+    ASSERT_TRUE(report.count("service.drain_p50_us"));
+    ASSERT_TRUE(report.count("service.drain_p99_us"));
+    EXPECT_LE(report.at("service.drain_p50_us"),
+              report.at("service.drain_max_us"));
 }
 
 TEST(ServiceStatsCounters, SumsAndCoversEveryField)
@@ -323,14 +355,18 @@ TEST(ServiceStatsCounters, SumsAndCoversEveryField)
 
 TEST(EngineStatsCounters, CoversEveryField)
 {
-    static_assert(sizeof(EngineStats) == 11 * sizeof(uint64_t),
+    static_assert(sizeof(EngineStats) == 17 * sizeof(uint64_t),
                   "EngineStats changed; update toCounters and this "
                   "test");
-    const EngineStats s{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11};
+    const EngineStats s{1, 2,  3,  4,  5,  6,  7,  8,  9,  10, 11,
+                        {12, 13, 14, 15, 16, 17}};
     const auto m = s.toCounters();
-    EXPECT_EQ(m.size(), 11u);
+    EXPECT_EQ(m.size(), 17u);
     EXPECT_EQ(m.at("engine.inputs_accumulated"), 1u);
     EXPECT_EQ(m.at("engine.program_cache_misses"), 11u);
+    EXPECT_EQ(m.at("engine.fabric.aap"), 12u);
+    EXPECT_EQ(m.at("engine.fabric.faults_injected"), 15u);
+    EXPECT_EQ(m.at("engine.fabric.row_writes"), 17u);
 }
 
 TEST(CounterMaps, MergeSumsMatchingKeys)

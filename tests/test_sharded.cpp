@@ -278,12 +278,14 @@ TEST(EngineStatsMerge, SumsEveryField)
 {
     // A new EngineStats field changes this size and fails here:
     // extend operator+= and the checks below together.
-    static_assert(sizeof(EngineStats) == 11 * sizeof(uint64_t),
+    static_assert(sizeof(EngineStats) == 17 * sizeof(uint64_t),
                   "EngineStats changed; update operator+= and this "
                   "test");
 
-    EngineStats a{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11};
-    const EngineStats b{10, 20, 30, 40, 50, 60, 70, 80, 90, 100, 110};
+    EngineStats a{1, 2,  3,  4,  5,  6,  7,  8,  9,  10, 11,
+                  {12, 13, 14, 15, 16, 17}};
+    const EngineStats b{10,  20,  30,  40,  50,  60,  70,  80, 90,
+                        100, 110, {120, 130, 140, 150, 160, 170}};
     a += b;
     EXPECT_EQ(a.inputsAccumulated, 11u);
     EXPECT_EQ(a.increments, 22u);
@@ -296,6 +298,12 @@ TEST(EngineStatsMerge, SumsEveryField)
     EXPECT_EQ(a.voteOps, 99u);
     EXPECT_EQ(a.programCacheHits, 110u);
     EXPECT_EQ(a.programCacheMisses, 121u);
+    EXPECT_EQ(a.fabric.aap, 132u);
+    EXPECT_EQ(a.fabric.ap, 143u);
+    EXPECT_EQ(a.fabric.tra, 154u);
+    EXPECT_EQ(a.fabric.faultsInjected, 165u);
+    EXPECT_EQ(a.fabric.rowReads, 176u);
+    EXPECT_EQ(a.fabric.rowWrites, 187u);
 }
 
 TEST(ShardedWorkloads, DnaBatchedHistogramMatchesHost)
