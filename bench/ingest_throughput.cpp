@@ -1,22 +1,29 @@
 /**
  * @file
- * Async ingest throughput: producers x shards x coalescing over
- * uniform and Zipf(1.0)-skewed key streams.
+ * Async ingest throughput: producers x shards x coalescing x drain
+ * planner over uniform and Zipf(1.0)-skewed key streams.
  *
  * Each cell pushes the same op stream through an IngestService
  * configured with a one-epoch coalescing window (minDrainOps =
  * stream length), so duplicate (counter, group) deltas merge before
- * touching the fabric. The headline numbers:
+ * touching the fabric and the drain planner sees the whole stream as
+ * one bucket per shard. The headline numbers:
  *
  *  - fabric inputs (EngineStats::inputsAccumulated): accumulate
  *    calls that actually reached the fabric. Coalescing on a skewed
  *    stream must cut this >= 2x vs. uncoalesced ingest — the
  *    write-combining win the batch substrate rewards.
+ *  - fabric programs (EngineStats::increments): row-level k-ary
+ *    increment programs executed. The digit-plane planner must cut
+ *    this >= 5x on the coalesced Zipf 4p/4s cell — the
+ *    column-parallel win (Fig. 15): one masked program per populated
+ *    (digit, k) plane instead of one program chain per counter.
  *  - bit-identity: every cell's final counters are compared against
  *    one blocking C2MEngine replaying the same stream serially.
  *
  * Exit status: 0 iff the 4-producer / 4-shard Zipf cell coalesces
- * >= 2x and every cell matches the serial replay.
+ * >= 2x, the planner cuts its fabric programs >= 5x, and every cell
+ * matches the serial replay.
  */
 
 #include <chrono>
@@ -44,13 +51,14 @@ secondsSince(Clock::time_point t0)
 }
 
 core::EngineConfig
-engineConfig()
+engineConfig(bool planner = true)
 {
     core::EngineConfig cfg;
     cfg.radix = 4;
     cfg.capacityBits = 16;
     cfg.numCounters = kNumCounters;
     cfg.maxMaskRows = 1;
+    cfg.drainPlanner = planner;
     return cfg;
 }
 
@@ -94,6 +102,7 @@ struct Cell
     unsigned shards;
     unsigned producers;
     bool coalesce;
+    bool planner;
     double timeS = 0.0;
     double opsPerS = 0.0;
     uint64_t fabricInputs = 0;
@@ -102,16 +111,20 @@ struct Cell
     uint64_t epochs = 0;
     uint64_t steals = 0;
     uint64_t stalls = 0;
+    uint64_t plans = 0;
+    uint64_t planPrograms = 0;
+    uint64_t plannedOps = 0;
+    uint64_t planFallbackOps = 0;
     bool match = false;
 };
 
 Cell
 runCell(const char *dist, const std::vector<core::BatchOp> &ops,
         const std::vector<int64_t> &reference, unsigned shards,
-        unsigned producers, bool coalesce)
+        unsigned producers, bool coalesce, bool planner)
 {
-    Cell cell{dist, shards, producers, coalesce};
-    core::ShardedEngine engine(engineConfig(), shards);
+    Cell cell{dist, shards, producers, coalesce, planner};
+    core::ShardedEngine engine(engineConfig(planner), shards);
     service::IngestConfig icfg;
     icfg.coalesce = coalesce;
     // One-epoch coalescing window: drain only once the whole stream
@@ -135,6 +148,10 @@ runCell(const char *dist, const std::vector<core::BatchOp> &ops,
     cell.epochs = sst.epochs;
     cell.steals = sst.steals;
     cell.stalls = sst.stalls;
+    cell.plans = sst.plans;
+    cell.planPrograms = sst.planPrograms;
+    cell.plannedOps = sst.plannedOps;
+    cell.planFallbackOps = sst.planFallbackOps;
     return cell;
 }
 
@@ -150,6 +167,7 @@ main()
     std::vector<Cell> cells;
     bool all_match = true;
     double zipf_on = 0.0, zipf_off = 0.0;
+    double zipf_prog_plan = 0.0, zipf_prog_noplan = 0.0;
     for (const bool zipf : {false, true}) {
         const char *dist = zipf ? "zipf1.0" : "uniform";
         const auto ops = makeStream(zipf);
@@ -161,36 +179,59 @@ main()
         for (const unsigned shards : {1u, 4u}) {
             for (const unsigned producers : {1u, 4u}) {
                 for (const bool coalesce : {false, true}) {
-                    const auto cell = runCell(dist, ops, reference,
-                                              shards, producers,
-                                              coalesce);
-                    all_match = all_match && cell.match;
-                    if (zipf && shards == 4 && producers == 4) {
-                        (coalesce ? zipf_on : zipf_off) =
-                            static_cast<double>(cell.fabricInputs);
+                    for (const bool planner : {false, true}) {
+                        const auto cell =
+                            runCell(dist, ops, reference, shards,
+                                    producers, coalesce, planner);
+                        all_match = all_match && cell.match;
+                        if (zipf && shards == 4 && producers == 4 &&
+                            !planner) {
+                            // Coalescing reduction, planner held off.
+                            (coalesce ? zipf_on : zipf_off) =
+                                static_cast<double>(
+                                    cell.fabricInputs);
+                        }
+                        if (zipf && shards == 4 && producers == 4 &&
+                            coalesce) {
+                            // Planner reduction on the coalesced
+                            // cell: row-level programs executed.
+                            (planner ? zipf_prog_plan
+                                     : zipf_prog_noplan) =
+                                static_cast<double>(
+                                    cell.fabricIncrements);
+                        }
+                        cells.push_back(cell);
                     }
-                    cells.push_back(cell);
                 }
             }
         }
     }
 
-    TextTable t({"dist", "shards", "prod", "coalesce", "time_s",
-                 "ops/s", "fabric_in", "merged", "steals", "match"});
+    TextTable t({"dist", "shards", "prod", "coalesce", "plan",
+                 "time_s", "ops/s", "fabric_in", "programs",
+                 "plan_progs", "match"});
     for (const auto &c : cells)
         t.addRow({c.dist, std::to_string(c.shards),
-                  std::to_string(c.producers), c.coalesce ? "on" : "off",
-                  TextTable::fmt(c.timeS, 3),
+                  std::to_string(c.producers),
+                  c.coalesce ? "on" : "off",
+                  c.planner ? "on" : "off", TextTable::fmt(c.timeS, 3),
                   TextTable::fmt(c.opsPerS, 0),
                   std::to_string(c.fabricInputs),
-                  std::to_string(c.coalesced),
-                  std::to_string(c.steals), c.match ? "yes" : "NO"});
+                  std::to_string(c.fabricIncrements),
+                  std::to_string(c.planPrograms),
+                  c.match ? "yes" : "NO"});
     std::printf("%s", t.render().c_str());
 
     const double reduction = zipf_on > 0.0 ? zipf_off / zipf_on : 0.0;
+    const double plan_reduction =
+        zipf_prog_plan > 0.0 ? zipf_prog_noplan / zipf_prog_plan
+                             : 0.0;
     std::printf("zipf 4x4 fabric-op reduction from coalescing: "
                 "%.2fx (need >= 2x)\n",
                 reduction);
+    std::printf("zipf 4x4 fabric-program reduction from the drain "
+                "planner: %.2fx (need >= 5x)\n",
+                plan_reduction);
     std::printf("all cells bit-identical to serial replay: %s\n",
                 all_match ? "yes" : "NO");
 
@@ -200,9 +241,10 @@ main()
                      "  \"num_ops\": %zu,\n"
                      "  \"num_counters\": %zu,\n"
                      "  \"zipf_4x4_fabric_reduction\": %.3f,\n"
+                     "  \"plan_reduction\": %.3f,\n"
                      "  \"all_match_serial_replay\": %s,\n"
                      "  \"cells\": [\n",
-                     kNumOps, kNumCounters, reduction,
+                     kNumOps, kNumCounters, reduction, plan_reduction,
                      all_match ? "true" : "false");
         for (size_t i = 0; i < cells.size(); ++i) {
             const auto &c = cells[i];
@@ -210,20 +252,29 @@ main()
                 f,
                 "    {\"dist\": \"%s\", \"shards\": %u, "
                 "\"producers\": %u, \"coalesce\": %s, "
+                "\"planner\": %s, "
                 "\"time_s\": %.6f, \"ops_per_s\": %.1f, "
                 "\"fabric_inputs\": %llu, "
                 "\"fabric_increments\": %llu, "
                 "\"coalesced\": %llu, \"epochs\": %llu, "
                 "\"steals\": %llu, \"stalls\": %llu, "
+                "\"plans\": %llu, \"plan_programs\": %llu, "
+                "\"planned_ops\": %llu, "
+                "\"plan_fallback_ops\": %llu, "
                 "\"match_reference\": %s}%s\n",
                 c.dist, c.shards, c.producers,
-                c.coalesce ? "true" : "false", c.timeS, c.opsPerS,
+                c.coalesce ? "true" : "false",
+                c.planner ? "true" : "false", c.timeS, c.opsPerS,
                 static_cast<unsigned long long>(c.fabricInputs),
                 static_cast<unsigned long long>(c.fabricIncrements),
                 static_cast<unsigned long long>(c.coalesced),
                 static_cast<unsigned long long>(c.epochs),
                 static_cast<unsigned long long>(c.steals),
                 static_cast<unsigned long long>(c.stalls),
+                static_cast<unsigned long long>(c.plans),
+                static_cast<unsigned long long>(c.planPrograms),
+                static_cast<unsigned long long>(c.plannedOps),
+                static_cast<unsigned long long>(c.planFallbackOps),
                 c.match ? "true" : "false",
                 i + 1 < cells.size() ? "," : "");
         }
@@ -231,5 +282,7 @@ main()
         std::fclose(f);
         std::printf("wrote BENCH_ingest.json\n");
     }
-    return (reduction >= 2.0 && all_match) ? 0 : 1;
+    return (reduction >= 2.0 && plan_reduction >= 5.0 && all_match)
+               ? 0
+               : 1;
 }

@@ -1,14 +1,17 @@
 /**
  * @file
  * Sharded batch engine scaling: ops/s of the point-update batch path
- * at 1/2/4/8 shards over a fixed logical counter space.
+ * at 1/2/4/8 shards over a fixed logical counter space, with the
+ * digit-plane drain planner off and on.
  *
  * Sharding narrows each shard's simulated subarray to 1/N of the
  * columns, so a routed point update expands into row operations that
  * touch 1/N of the bits; shards additionally run concurrently on the
- * thread pool. Both effects compound, so throughput should scale
- * superlinearly on multi-core hosts and still clearly beat the
- * single-shard baseline on one core.
+ * thread pool. The planner compounds a third effect: a shard's whole
+ * bucket collapses into at most D*(R-1) masked column-parallel
+ * programs per group, so fabric programs stop scaling with the op
+ * count at all. Both planner settings must stay bit-identical to the
+ * serial replay baseline.
  */
 
 #include <chrono>
@@ -52,52 +55,82 @@ main()
     std::printf("sharded batch scaling: %zu point updates over %zu "
                 "logical counters\n",
                 num_ops, cfg.numCounters);
-    TextTable t({"shards", "time_s", "ops/s", "speedup",
-                 "cache_hit%"});
+    TextTable t({"planner", "shards", "time_s", "ops/s", "speedup",
+                 "programs", "plan_progs", "cache_hit%"});
     struct Row
     {
+        bool planner;
         unsigned shards;
         double timeS;
         double opsPerS;
         double speedup;
+        uint64_t increments;
+        uint64_t planPrograms;
+        uint64_t planFallbackOps;
         double cacheHitFrac;
+        bool match;
     };
     std::vector<Row> rows;
-    double base_ops_per_s = 0.0;
+    const auto reference = core::replaySerial(cfg, ops);
     bool four_shard_ok = false;
-    for (unsigned shards : {1u, 2u, 4u, 8u}) {
-        core::ShardedEngine eng(cfg, shards);
-        // Warm-up: touch every shard once so first-op setup (point
-        // mask allocation, page faults) is off the clock.
-        std::vector<core::BatchOp> warm;
-        for (unsigned s = 0; s < shards; ++s)
-            warm.push_back({eng.shardStart(s), 1, 0});
-        eng.accumulateBatch(warm);
+    bool all_match = true;
+    for (const bool planner : {false, true}) {
+        double base_ops_per_s = 0.0;
+        for (unsigned shards : {1u, 2u, 4u, 8u}) {
+            auto pcfg = cfg;
+            pcfg.drainPlanner = planner;
+            core::ShardedEngine eng(pcfg, shards);
+            // Warm-up: touch every shard once so first-op setup
+            // (point mask allocation, page faults) is off the clock.
+            std::vector<core::BatchOp> warm;
+            for (unsigned s = 0; s < shards; ++s)
+                warm.push_back({eng.shardStart(s), 1, 0});
+            eng.accumulateBatch(warm);
+            eng.clear();
+            // Stats baseline after warm-up: the reported numbers
+            // must attribute only the measured batch, not the
+            // warm-up's per-op fallback activity.
+            const auto st0 = eng.stats();
 
-        const auto t0 = Clock::now();
-        eng.accumulateBatch(ops);
-        const double dt = secondsSince(t0);
-        const double rate = static_cast<double>(num_ops) / dt;
-        if (shards == 1)
-            base_ops_per_s = rate;
-        const double speedup = rate / base_ops_per_s;
-        if (shards == 4 && speedup > 2.0)
-            four_shard_ok = true;
-        const auto st = eng.stats();
-        const uint64_t lookups =
-            st.programCacheHits + st.programCacheMisses;
-        const double hit_frac =
-            lookups ? static_cast<double>(st.programCacheHits) /
-                          static_cast<double>(lookups)
-                    : 0.0;
-        rows.push_back({shards, dt, rate, speedup, hit_frac});
-        t.addRow({std::to_string(shards), TextTable::fmt(dt, 3),
-                  TextTable::fmt(rate, 0), TextTable::fmt(speedup, 2),
-                  TextTable::fmt(100.0 * hit_frac, 1)});
+            const auto t0 = Clock::now();
+            eng.accumulateBatch(ops);
+            const double dt = secondsSince(t0);
+            const double rate = static_cast<double>(num_ops) / dt;
+            const bool match = eng.readAllCounters() == reference;
+            all_match = all_match && match;
+            if (shards == 1)
+                base_ops_per_s = rate;
+            const double speedup = rate / base_ops_per_s;
+            if (!planner && shards == 4 && speedup > 2.0)
+                four_shard_ok = true;
+            const auto st = eng.stats();
+            const uint64_t hits =
+                st.programCacheHits - st0.programCacheHits;
+            const uint64_t lookups =
+                hits + st.programCacheMisses - st0.programCacheMisses;
+            const double hit_frac =
+                lookups ? static_cast<double>(hits) /
+                              static_cast<double>(lookups)
+                        : 0.0;
+            rows.push_back({planner, shards, dt, rate, speedup,
+                            st.increments - st0.increments,
+                            st.planPrograms - st0.planPrograms,
+                            st.planFallbackOps - st0.planFallbackOps,
+                            hit_frac, match});
+            const auto &row = rows.back();
+            t.addRow({planner ? "on" : "off", std::to_string(shards),
+                      TextTable::fmt(dt, 3), TextTable::fmt(rate, 0),
+                      TextTable::fmt(speedup, 2),
+                      std::to_string(row.increments),
+                      std::to_string(row.planPrograms),
+                      TextTable::fmt(100.0 * hit_frac, 1)});
+        }
     }
     std::printf("%s", t.render().c_str());
-    std::printf("4-shard speedup > 2x: %s\n",
+    std::printf("4-shard speedup > 2x (planner off): %s\n",
                 four_shard_ok ? "yes" : "NO");
+    std::printf("all cells bit-identical to serial replay: %s\n",
+                all_match ? "yes" : "NO");
 
     // Machine-readable trail for the perf trajectory (BENCH_sharded
     // .json next to the working directory the bench runs in).
@@ -106,21 +139,33 @@ main()
                      "{\n  \"bench\": \"sharded_scaling\",\n"
                      "  \"backend\": \"%s\",\n"
                      "  \"num_ops\": %zu,\n"
-                     "  \"num_counters\": %zu,\n  \"results\": [\n",
+                     "  \"num_counters\": %zu,\n"
+                     "  \"all_match_serial_replay\": %s,\n"
+                     "  \"results\": [\n",
                      core::backendName(cfg.backend), num_ops,
-                     cfg.numCounters);
+                     cfg.numCounters, all_match ? "true" : "false");
         for (size_t i = 0; i < rows.size(); ++i)
-            std::fprintf(f,
-                         "    {\"shards\": %u, \"time_s\": %.6f, "
-                         "\"ops_per_s\": %.1f, \"speedup\": %.3f, "
-                         "\"program_cache_hit_rate\": %.4f}%s\n",
-                         rows[i].shards, rows[i].timeS,
-                         rows[i].opsPerS, rows[i].speedup,
-                         rows[i].cacheHitFrac,
-                         i + 1 < rows.size() ? "," : "");
+            std::fprintf(
+                f,
+                "    {\"planner\": %s, \"shards\": %u, "
+                "\"time_s\": %.6f, "
+                "\"ops_per_s\": %.1f, \"speedup\": %.3f, "
+                "\"fabric_programs\": %llu, "
+                "\"plan_programs\": %llu, "
+                "\"plan_fallback_ops\": %llu, "
+                "\"program_cache_hit_rate\": %.4f}%s\n",
+                rows[i].planner ? "true" : "false", rows[i].shards,
+                rows[i].timeS, rows[i].opsPerS, rows[i].speedup,
+                static_cast<unsigned long long>(rows[i].increments),
+                static_cast<unsigned long long>(
+                    rows[i].planPrograms),
+                static_cast<unsigned long long>(
+                    rows[i].planFallbackOps),
+                rows[i].cacheHitFrac,
+                i + 1 < rows.size() ? "," : "");
         std::fprintf(f, "  ]\n}\n");
         std::fclose(f);
         std::printf("wrote BENCH_sharded.json\n");
     }
-    return four_shard_ok ? 0 : 1;
+    return (four_shard_ok && all_match) ? 0 : 1;
 }

@@ -11,6 +11,10 @@ AmbitSubarray::AmbitSubarray(size_t num_rows, size_t num_cols,
       dataRows_(num_rows, BitVector(num_cols)),
       zeros_(num_cols),
       ones_(num_cols),
+      senseV_(num_cols),
+      flipsBuf_(num_cols),
+      andBuf_(num_cols),
+      orBuf_(num_cols),
       fault_(fault),
       rng_(seed)
 {
@@ -18,6 +22,8 @@ AmbitSubarray::AmbitSubarray(size_t num_rows, size_t num_cols,
         t = BitVector(num_cols);
     for (auto &d : dccRegs_)
         d = BitVector(num_cols);
+    for (auto &n : negBuf_)
+        n = BitVector(num_cols);
     ones_.fill(true);
 }
 
@@ -100,65 +106,67 @@ AmbitSubarray::cell(const RowRef &ref)
     }
 }
 
-BitVector
+const BitVector &
 AmbitSubarray::resolveRead(const RowSet &set, bool is_copy_source)
 {
     C2M_ASSERT(set.count == 1 || set.count == 3,
                "activation source must be 1 or 3 rows, got ",
                int(set.count));
 
-    auto read_one = [&](const RowRef &ref) -> BitVector {
+    // Allocation-free: every intermediate lives in a member scratch
+    // row, so replaying a cached program touches the heap not at all.
+    auto read_one = [&](uint8_t slot) -> const BitVector & {
+        const RowRef &ref = set.rows[slot];
         switch (ref.kind) {
           case RowRef::Kind::C0:
             return zeros_;
           case RowRef::Kind::C1:
             return ones_;
-          case RowRef::Kind::DccNeg: {
-            BitVector v(numCols_);
-            v.assignNot(cell(ref));
-            return v;
-          }
+          case RowRef::Kind::DccNeg:
+            negBuf_[slot].assignNot(cell(ref));
+            return negBuf_[slot];
           default:
             return cell(ref);
         }
     };
 
     if (set.count == 1) {
-        BitVector v = read_one(set.rows[0]);
+        // senseV_ decouples the sensed image from the source cell, so
+        // writeSet can overwrite a destination aliasing the source
+        // (and a DCC-negated destination cannot corrupt later ones).
+        senseV_.copyFrom(read_one(0));
         if (is_copy_source && fault_.pCopy > 0.0)
-            stats_.faultsInjected += v.injectFaults(rng_, fault_.pCopy);
-        return v;
+            stats_.faultsInjected +=
+                senseV_.injectFaults(rng_, fault_.pCopy);
+        return senseV_;
     }
 
     // Triple-row activation: MAJ3 with destructive writeback.
     ++stats_.tra;
-    const BitVector a = read_one(set.rows[0]);
-    const BitVector b = read_one(set.rows[1]);
-    const BitVector c = read_one(set.rows[2]);
-    BitVector v(numCols_);
-    v.assignMaj3(a, b, c);
+    const BitVector &a = read_one(0);
+    const BitVector &b = read_one(1);
+    const BitVector &c = read_one(2);
+    senseV_.assignMaj3(a, b, c);
     if (fault_.pMaj > 0.0) {
         // Charge-sharing faults occur where the activated cells
         // disagree; a unanimous bitline senses with a full margin
         // (Sec. 2.3/6.1), so those columns fault only at the
         // (negligible) read-error rate.
-        BitVector flips(numCols_);
-        flips.injectFaults(rng_, fault_.pMaj);
-        BitVector and_abc(numCols_), or_abc(numCols_);
-        and_abc.assignAnd(a, b);
-        and_abc.assignAnd(and_abc, c);
-        or_abc.assignOr(a, b);
-        or_abc.assignOr(or_abc, c);
+        flipsBuf_.fill(false);
+        flipsBuf_.injectFaults(rng_, fault_.pMaj);
+        andBuf_.assignAnd(a, b);
+        andBuf_.assignAnd(andBuf_, c);
+        orBuf_.assignOr(a, b);
+        orBuf_.assignOr(orBuf_, c);
         // Disagreeing columns: some cell is 1 but not all of them.
-        BitVector split(numCols_);
-        split.assignXor(and_abc, or_abc);
-        flips.assignAnd(flips, split);
-        stats_.faultsInjected += flips.popcount();
-        v.assignXor(v, flips);
+        orBuf_.assignXor(andBuf_, orBuf_);
+        flipsBuf_.assignAnd(flipsBuf_, orBuf_);
+        stats_.faultsInjected += flipsBuf_.popcount();
+        senseV_.assignXor(senseV_, flipsBuf_);
     }
     // All activated rows end up holding the sensed value.
-    writeSet(set, v);
-    return v;
+    writeSet(set, senseV_);
+    return senseV_;
 }
 
 void
@@ -194,7 +202,7 @@ AmbitSubarray::execute(const AmbitOp &op)
 
     ++stats_.aap;
     const bool is_copy = !op.src.isTriple();
-    const BitVector v = resolveRead(op.src, is_copy);
+    const BitVector &v = resolveRead(op.src, is_copy);
     writeSet(op.dst, v);
 }
 

@@ -17,6 +17,13 @@
  * independently with FaultModel::pMaj; copies use pCopy. Host-level
  * row reads/writes (memory-controller RD/WR) are reliable and tracked
  * separately in OpStats.
+ *
+ * Hot-path contract: executing a micro-op performs zero heap
+ * allocations in steady state. All intermediate row values (the
+ * sensed bitline image, DCC negations, the MAJ3 fault-disagreement
+ * masks) live in member scratch BitVectors sized once at
+ * construction; bench/micro_kernels carries an allocation-counting
+ * probe that gates on this staying true.
  */
 
 #include <cstdint>
@@ -75,9 +82,12 @@ class AmbitSubarray
     /**
      * Sense the activation set onto the bitlines: single rows read
      * (negated through DCC negative ports), triples compute MAJ3 with
-     * fault injection and destructive writeback.
+     * fault injection and destructive writeback. The returned
+     * reference points at the senseV_ scratch row and stays valid
+     * until the next resolveRead.
      */
-    BitVector resolveRead(const RowSet &set, bool is_copy_source);
+    const BitVector &resolveRead(const RowSet &set,
+                                 bool is_copy_source);
 
     /** Drive @p v into every row of @p set (write phase of AAP). */
     void writeSet(const RowSet &set, const BitVector &v);
@@ -88,6 +98,14 @@ class AmbitSubarray
     BitVector dccRegs_[2];
     BitVector zeros_;
     BitVector ones_;
+    /** Sensed bitline image of the current activation (scratch). */
+    BitVector senseV_;
+    /** Per-activation-slot DCC negation scratch (up to 3 sources). */
+    BitVector negBuf_[3];
+    /** MAJ3 fault-injection scratch: flips and disagreement mask. */
+    BitVector flipsBuf_;
+    BitVector andBuf_;
+    BitVector orBuf_;
     FaultModel fault_;
     OpStats stats_;
     Rng rng_;

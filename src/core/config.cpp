@@ -18,6 +18,10 @@ EngineStats::toCounters() const
         {"engine.vote_ops", voteOps},
         {"engine.program_cache_hits", programCacheHits},
         {"engine.program_cache_misses", programCacheMisses},
+        {"engine.plans_executed", plansExecuted},
+        {"engine.plan_programs", planPrograms},
+        {"engine.planned_ops", plannedOps},
+        {"engine.plan_fallback_ops", planFallbackOps},
         {"engine.fabric.aap", fabric.aap},
         {"engine.fabric.ap", fabric.ap},
         {"engine.fabric.tra", fabric.tra},

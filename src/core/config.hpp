@@ -74,6 +74,17 @@ struct EngineConfig
      * path. Replayed programs are bit-identical to regeneration.
      */
     bool programCache = true;
+    /**
+     * Column-parallel drain planning for batched point updates
+     * (ShardedEngine/IngestService): decompose each counter's epoch
+     * delta into radix digits and issue ONE masked k-ary increment
+     * per populated (digit, k) plane, bounding fabric programs per
+     * bucket at O(D*(R-1)) per group instead of O(ops). Final counter
+     * values are bit-identical to per-op replay; signed-mode groups,
+     * Unit counting and buckets the plan cannot beat fall back to the
+     * per-op path automatically.
+     */
+    bool drainPlanner = true;
 };
 
 struct EngineStats
@@ -89,6 +100,10 @@ struct EngineStats
     uint64_t voteOps = 0;
     uint64_t programCacheHits = 0;   ///< programs replayed from cache
     uint64_t programCacheMisses = 0; ///< programs generated fresh
+    uint64_t plansExecuted = 0;   ///< column-parallel plans applied
+    uint64_t planPrograms = 0;    ///< masked plane increments issued
+    uint64_t plannedOps = 0;      ///< point updates folded into plans
+    uint64_t planFallbackOps = 0; ///< ops that took the per-op path
 
     /**
      * Fabric-level command and fault tallies (AAP/AP commands, triple
@@ -118,6 +133,10 @@ struct EngineStats
         voteOps += o.voteOps;
         programCacheHits += o.programCacheHits;
         programCacheMisses += o.programCacheMisses;
+        plansExecuted += o.plansExecuted;
+        planPrograms += o.planPrograms;
+        plannedOps += o.plannedOps;
+        planFallbackOps += o.planFallbackOps;
         fabric += o.fabric;
         return *this;
     }

@@ -1,5 +1,7 @@
 #include "core/engine.hpp"
 
+#include <algorithm>
+
 #include "common/logging.hpp"
 #include "core/backend_ambit.hpp"
 #include "core/backend_rca.hpp"
@@ -89,6 +91,15 @@ C2MEngine::setMask(unsigned handle, const std::vector<uint8_t> &mask)
     C2M_ASSERT(handle < numMasks_, "unknown mask handle ", handle);
     backend_->writeMask(handle,
                         dram::maskRow(mask, cfg_.numCounters));
+}
+
+void
+C2MEngine::setMask(unsigned handle, const BitVector &mask)
+{
+    C2M_ASSERT(handle < numMasks_, "unknown mask handle ", handle);
+    C2M_ASSERT(mask.size() == cfg_.numCounters,
+               "mask width mismatch");
+    backend_->writeMask(handle, mask);
 }
 
 void
@@ -201,6 +212,60 @@ C2MEngine::accumulate(uint64_t value, unsigned mask_handle,
             ripple(group, d);
     }
     ++stats_.inputsAccumulated;
+}
+
+void
+C2MEngine::accumulatePlan(std::span<const MaskedStep> steps,
+                          unsigned mask_handle, unsigned group,
+                          uint64_t folded_ops)
+{
+    C2M_ASSERT(group < cfg_.numGroups, "group out of range");
+    C2M_ASSERT(cfg_.counting == CountMode::Kary,
+               "drain plans require k-ary counting");
+    C2M_ASSERT(!groupHasDecrements_[group],
+               "drain plans require an unsigned-mode group");
+    ++stats_.plansExecuted;
+    stats_.plannedOps += folded_ops;
+    stats_.inputsAccumulated += folded_ops;
+    if (steps.empty())
+        return; // every folded delta was zero
+
+    // Worst-case digit profile: each counter receives at most one
+    // step per digit position (its own delta digit), so max k per
+    // position upper-bounds every real counter's addition and the
+    // scheduler headroom it prepares is sound for the whole plan.
+    std::vector<unsigned> worst;
+    for (const auto &s : steps) {
+        C2M_ASSERT(s.k >= 1 && s.k < cfg_.radix,
+                   "plane step k out of range: ", s.k);
+        C2M_ASSERT(s.mask != nullptr, "plane step without a mask");
+        if (s.digit >= worst.size())
+            worst.resize(s.digit + 1, 0);
+        worst[s.digit] = std::max(worst[s.digit], s.k);
+    }
+    C2M_ASSERT(worst.size() < backend_->numDigits(),
+               "planned delta exceeds counter capacity");
+
+    const unsigned mask_row = maskRowIndex(mask_handle);
+    const bool pending = backend_->caps().pendingFlags;
+    auto &sched = schedulers_[group];
+
+    if (pending) {
+        for (unsigned d : sched.prepareAdd(worst))
+            ripple(group, d);
+        sched.applyAdd(worst);
+    }
+
+    for (const auto &s : steps) {
+        backend_->writeMask(mask_handle, *s.mask);
+        incrementDigit(group, s.digit, s.k, mask_row);
+        ++stats_.planPrograms;
+    }
+
+    if (pending && cfg_.ripple == RippleMode::FullRipple) {
+        for (unsigned d : sched.fullPassDescending())
+            ripple(group, d);
+    }
 }
 
 void

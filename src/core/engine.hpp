@@ -28,6 +28,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "cim/ambit.hpp"
@@ -38,6 +39,19 @@
 
 namespace c2m {
 namespace core {
+
+/**
+ * One column-parallel step of a drain plan: add @p k to digit
+ * @p digit of every counter whose bit is set in @p mask. The mask is
+ * borrowed, not owned — planners keep a reusable pool of plane masks
+ * and hand out pointers for the duration of one accumulatePlan call.
+ */
+struct MaskedStep
+{
+    unsigned digit;
+    unsigned k; ///< 1..radix-1
+    const BitVector *mask;
+};
 
 class C2MEngine
 {
@@ -87,6 +101,12 @@ class C2MEngine
     unsigned numMasks() const { return numMasks_; }
     /** Overwrite an existing mask row. */
     void setMask(unsigned handle, const std::vector<uint8_t> &mask);
+    /**
+     * In-place overwrite from a prebuilt packed row: no byte-vector
+     * conversion, no allocation. The batch hot paths (point masks,
+     * plane masks) route through this overload.
+     */
+    void setMask(unsigned handle, const BitVector &mask);
 
     /**
      * Accumulate @p value into every counter of @p group whose bit in
@@ -98,6 +118,44 @@ class C2MEngine
     /** Signed accumulation: negative values decrement (Sec. 4.4). */
     void accumulateSigned(int64_t value, unsigned mask_handle,
                           unsigned group = 0);
+
+    /**
+     * Column-parallel masked accumulate (Fig. 15): apply a batch of
+     * digit-plane steps, each one masked k-ary increment covering
+     * every counter whose epoch delta has digit k at that position.
+     * This is the multi-counter entry point the drain planner
+     * schedules through — it skips the per-value digit loop entirely:
+     * IARM headroom is prepared ONCE for the whole plan using the
+     * per-digit worst case (max k over the steps of each digit), then
+     * each step writes its plane mask into @p mask_handle's row and
+     * issues a single karyIncrement.
+     *
+     * Requirements (planners fall back to per-op replay otherwise):
+     * Kary counting, group not in signed mode, each counter covered
+     * by at most one step per digit position. @p folded_ops is the
+     * number of point updates the plan folds in; it feeds
+     * inputsAccumulated/plannedOps so batch accounting matches the
+     * per-op path.
+     */
+    void accumulatePlan(std::span<const MaskedStep> steps,
+                        unsigned mask_handle, unsigned group,
+                        uint64_t folded_ops);
+
+    /**
+     * True once the group has seen a decrement: pending flags are
+     * kept fully resolved and the drain planner must not defer
+     * carries (it falls back to per-op replay).
+     */
+    bool signedMode(unsigned group) const
+    {
+        return groupHasDecrements_[group];
+    }
+
+    /** Planner bookkeeping: @p n ops bypassed plans (per-op path). */
+    void notePlanFallback(uint64_t n)
+    {
+        stats_.planFallbackOps += n;
+    }
 
     /** Current counter values (Onext/Osign accounted, no draining). */
     std::vector<int64_t> readCounters(unsigned group = 0);

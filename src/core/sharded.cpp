@@ -1,5 +1,6 @@
 #include "core/sharded.hpp"
 
+#include <algorithm>
 #include <limits>
 
 #include "common/logging.hpp"
@@ -38,17 +39,21 @@ ShardedEngine::ShardedEngine(const EngineConfig &cfg,
 
     // Independent per-shard seeds split from the root seed.
     uint64_t seed_state = cfg.seed;
+    scratch_.resize(num_shards);
     for (unsigned s = 0; s < num_shards; ++s) {
         EngineConfig scfg = cfg;
         scfg.numCounters = shardWidth(s);
         scfg.seed = splitMix64(seed_state);
-        // Handle kPointMask is reserved for routed point updates.
-        scfg.maxMaskRows = cfg.maxMaskRows + 1;
+        // Handles kPointMask and kPlaneMask are reserved for routed
+        // point updates and the drain planner's digit-plane masks.
+        scfg.maxMaskRows = cfg.maxMaskRows + kReservedMasks;
         shards_.push_back(std::make_unique<C2MEngine>(scfg));
-        shards_.back()->addMask(
-            std::vector<uint8_t>(shardWidth(s), 0));
+        for (unsigned h = 0; h < kReservedMasks; ++h)
+            shards_.back()->addMask(
+                std::vector<uint8_t>(shardWidth(s), 0));
+        scratch_[s].pointMask = BitVector(shardWidth(s));
+        scratch_[s].pointCol = std::numeric_limits<size_t>::max();
     }
-    pointCol_.assign(num_shards, std::numeric_limits<size_t>::max());
     shardBusy_ = std::make_unique<std::atomic<bool>[]>(num_shards);
 }
 
@@ -89,10 +94,11 @@ ShardedEngine::setMask(unsigned handle,
         for (size_t c = 0; c < slice.size() && lo + c < mask.size();
              ++c)
             slice[c] = mask[lo + c];
-        // Shard handle 0 is the reserved point mask, so logical
-        // handle h lives at shard handle h + 1.
-        if (handle + 1 < eng.numMasks())
-            eng.setMask(handle + 1, slice);
+        // Shard handles 0..kReservedMasks-1 are internal (point and
+        // plane masks), so logical handle h lives at shard handle
+        // h + kReservedMasks.
+        if (handle + kReservedMasks < eng.numMasks())
+            eng.setMask(handle + kReservedMasks, slice);
         else
             eng.addMask(slice);
     });
@@ -130,15 +136,72 @@ ShardedEngine::runShardTask(
 void
 ShardedEngine::runShardBatch(unsigned s, std::span<const BatchOp> ops)
 {
+    if (ops.empty())
+        return;
+    if (!cfg_.drainPlanner) {
+        runShardSerial(s, ops);
+        return;
+    }
+    if (cfg_.counting != CountMode::Kary) {
+        // Unit counting has no k-ary planes; with the planner on
+        // these ops still count as fallback so the accounting
+        // invariant plannedOps + planFallbackOps == batched ops
+        // holds for metric consumers.
+        shards_[s]->notePlanFallback(ops.size());
+        runShardSerial(s, ops);
+        return;
+    }
+    // Common case first: the whole bucket targets one group.
+    bool single_group = true;
+    for (const auto &op : ops)
+        if (op.group != ops.front().group) {
+            single_group = false;
+            break;
+        }
+    if (single_group) {
+        runGroupPlanned(s, ops.front().group, ops);
+        return;
+    }
+    // Partition by group (first-appearance order, per-group op order
+    // preserved); groups hold independent counter state, so planning
+    // them one after another cannot change any value.
+    auto &sc = scratch_[s];
+    for (auto &part : sc.parts)
+        part.second.clear();
+    size_t used = 0;
+    for (const auto &op : ops) {
+        size_t p = 0;
+        while (p < used && sc.parts[p].first != op.group)
+            ++p;
+        if (p == used) {
+            if (p == sc.parts.size())
+                sc.parts.emplace_back();
+            sc.parts[p].first = op.group;
+            ++used;
+        }
+        sc.parts[p].second.push_back(op);
+    }
+    for (size_t p = 0; p < used; ++p)
+        runGroupPlanned(s, sc.parts[p].first, sc.parts[p].second);
+}
+
+void
+ShardedEngine::runShardSerial(unsigned s,
+                              std::span<const BatchOp> ops)
+{
     C2MEngine &eng = *shards_[s];
+    auto &sc = scratch_[s];
     const size_t lo = starts_[s];
     for (const auto &op : ops) {
         const size_t col = static_cast<size_t>(op.counter) - lo;
-        if (pointCol_[s] != col) {
-            std::vector<uint8_t> m(shardWidth(s), 0);
-            m[col] = 1;
-            eng.setMask(kPointMask, m);
-            pointCol_[s] = col;
+        if (sc.pointCol != col) {
+            // Two-bit in-place update of the reusable point mask: no
+            // byte-vector rebuild, no allocation on a column change.
+            if (sc.pointCol != std::numeric_limits<size_t>::max())
+                sc.pointMask.set(sc.pointCol, false);
+            sc.pointMask.set(col, true);
+            eng.setMask(kPointMask, sc.pointMask);
+            sc.pointCol = col;
         }
         if (op.value >= 0)
             eng.accumulate(static_cast<uint64_t>(op.value),
@@ -146,6 +209,115 @@ ShardedEngine::runShardBatch(unsigned s, std::span<const BatchOp> ops)
         else
             eng.accumulateSigned(op.value, kPointMask, op.group);
     }
+}
+
+void
+ShardedEngine::runGroupPlanned(unsigned s, uint32_t group,
+                               std::span<const BatchOp> ops)
+{
+    C2MEngine &eng = *shards_[s];
+    auto &sc = scratch_[s];
+    // Signed-mode groups keep pending flags fully resolved per op;
+    // a plan would defer them, so those buckets replay per-op.
+    if (eng.signedMode(group)) {
+        eng.notePlanFallback(ops.size());
+        runShardSerial(s, ops);
+        return;
+    }
+
+    // Sum each counter's delta (first-occurrence order). A negative
+    // op means serial replay could enter signed mode mid-bucket —
+    // fall back so the op-for-op state machine stays bit-identical.
+    sc.index.clear();
+    sc.sums.clear();
+    const size_t lo = starts_[s];
+    bool negative = false;
+    for (const auto &op : ops) {
+        if (op.value < 0) {
+            negative = true;
+            break;
+        }
+        const uint64_t col = op.counter - lo;
+        const auto [it, inserted] =
+            sc.index.try_emplace(col, sc.sums.size());
+        if (inserted)
+            sc.sums.emplace_back(static_cast<size_t>(col), op.value);
+        else
+            sc.sums[it->second].second += op.value;
+    }
+    if (negative) {
+        eng.notePlanFallback(ops.size());
+        runShardSerial(s, ops);
+        return;
+    }
+
+    // Build the digit planes: counter col joins plane (d, k) iff its
+    // summed delta has digit k at position d. The top digit is the
+    // guard per-value increments never touch (only ripples carry
+    // into it), so a summed delta reaching it cannot be planned —
+    // replay the raw ops instead, which stay per-value in range.
+    const unsigned R = cfg_.radix;
+    const unsigned D = eng.backend().numDigits();
+    if (sc.planes.empty()) {
+        sc.planes.assign(static_cast<size_t>(D) * (R - 1),
+                         BitVector(shardWidth(s)));
+        sc.planeUsed.assign(sc.planes.size(), 0);
+    }
+    sc.touched.clear();
+    bool over_capacity = false;
+    for (const auto &[col, delta] : sc.sums) {
+        uint64_t v = static_cast<uint64_t>(delta);
+        unsigned pos = 0;
+        while (v != 0) {
+            const unsigned k = static_cast<unsigned>(v % R);
+            v /= R;
+            if (k != 0) {
+                if (pos + 1 >= D) {
+                    over_capacity = true;
+                    break;
+                }
+                const size_t idx =
+                    static_cast<size_t>(pos) * (R - 1) + (k - 1);
+                if (!sc.planeUsed[idx]) {
+                    sc.planeUsed[idx] = 1;
+                    sc.planes[idx].fill(false);
+                    sc.touched.push_back(static_cast<uint32_t>(idx));
+                }
+                sc.planes[idx].set(col, true);
+            }
+            ++pos;
+        }
+        if (over_capacity)
+            break;
+    }
+    for (const uint32_t idx : sc.touched)
+        sc.planeUsed[idx] = 0;
+
+    // The fallback replays the RAW ops, so the plan competes against
+    // their per-op digit cost (one program per nonzero digit of each
+    // original value), not against the cost of the sums: a hot key
+    // hit N times costs ~N programs per-op but shares one plane set
+    // once summed. Plan unless the planes cannot beat that (single
+    // ops, all-distinct tiny deltas).
+    uint64_t raw_programs = 0;
+    for (const auto &op : ops)
+        for (uint64_t v = static_cast<uint64_t>(op.value); v != 0;
+             v /= R)
+            raw_programs += (v % R) != 0;
+    if (over_capacity || sc.touched.size() >= raw_programs) {
+        eng.notePlanFallback(ops.size());
+        runShardSerial(s, ops);
+        return;
+    }
+
+    // Deterministic plane order: ascending (digit, k).
+    std::sort(sc.touched.begin(), sc.touched.end());
+    sc.steps.clear();
+    for (const uint32_t idx : sc.touched)
+        sc.steps.push_back({static_cast<unsigned>(idx / (R - 1)),
+                            static_cast<unsigned>(idx % (R - 1)) + 1,
+                            &sc.planes[idx]});
+    eng.accumulatePlan(sc.steps, kPlaneMask, group, ops.size());
 }
 
 void
@@ -171,7 +343,7 @@ ShardedEngine::accumulate(uint64_t value, unsigned mask_handle,
     C2M_ASSERT(mask_handle < numMasks_, "unknown mask handle ",
                mask_handle);
     forEachShard([&](C2MEngine &eng, unsigned) {
-        eng.accumulate(value, mask_handle + 1, group);
+        eng.accumulate(value, mask_handle + kReservedMasks, group);
     });
 }
 
@@ -182,7 +354,8 @@ ShardedEngine::accumulateSigned(int64_t value, unsigned mask_handle,
     C2M_ASSERT(mask_handle < numMasks_, "unknown mask handle ",
                mask_handle);
     forEachShard([&](C2MEngine &eng, unsigned) {
-        eng.accumulateSigned(value, mask_handle + 1, group);
+        eng.accumulateSigned(value, mask_handle + kReservedMasks,
+                             group);
     });
 }
 

@@ -26,6 +26,20 @@
  *    column-wise across shards, and the increment fans out to all
  *    shards in parallel.
  *
+ * Digit-plane drain planner (EngineConfig::drainPlanner, default on):
+ * a shard bucket of point updates is not replayed one op at a time —
+ * the planner sums each counter's delta, decomposes the sums into
+ * radix-R digits, and for every populated (digit position d, digit
+ * value k) builds ONE shared plane mask covering all counters whose
+ * delta has digit k at position d. Each plane costs a single masked
+ * karyIncrement, so a bucket of N ops executes in at most D*(R-1)
+ * column-parallel fabric programs per group (Fig. 15) instead of N
+ * whole-row program sequences. Plane masks live in a dedicated
+ * reserved mask row, so cached increment programs replay across
+ * epochs. Signed-mode groups, buckets containing negative deltas,
+ * Unit counting, and buckets a plan cannot beat fall back to per-op
+ * replay; either path yields bit-identical counter values.
+ *
  * Results are bit-identical to a single C2MEngine over the full
  * counter space on the same op stream (columns are independent in the
  * Ambit simulation), and independent of the thread count: per-shard
@@ -37,8 +51,10 @@
 #include <functional>
 #include <memory>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
+#include "common/bitvec.hpp"
 #include "common/stats.hpp"
 #include "core/engine.hpp"
 #include "core/threadpool.hpp"
@@ -149,15 +165,52 @@ class ShardedEngine
   private:
     /** Internal mask handle reserved per shard for point updates. */
     static constexpr unsigned kPointMask = 0;
+    /** Reserved handle for the planner's shared digit-plane masks. */
+    static constexpr unsigned kPlaneMask = 1;
+    /** Shard-internal handles reserved below the public ones. */
+    static constexpr unsigned kReservedMasks = 2;
+
+    /**
+     * Per-shard planner workspace. Reused across buckets so the
+     * steady-state drain path performs no per-op allocation: plane
+     * masks are lazily sized once (D x (R-1) shard-width rows), the
+     * point mask is updated two bits at a time, and the delta
+     * accumulator map keeps its capacity between epochs. Guarded by
+     * the shard's single-writer discipline like the engine itself.
+     */
+    struct PlannerScratch
+    {
+        BitVector pointMask; ///< reusable single-bit point mask
+        size_t pointCol;     ///< column currently set in pointMask
+        /** Plane masks, indexed digit * (R-1) + (k-1). */
+        std::vector<BitVector> planes;
+        std::vector<uint32_t> touched; ///< plane indices this plan
+        std::vector<MaskedStep> steps;
+        std::vector<uint8_t> planeUsed; ///< per-plane dirty flag
+        /** Coalesced per-counter delta sums of the current group. */
+        std::unordered_map<uint64_t, size_t> index;
+        std::vector<std::pair<size_t, int64_t>> sums;
+        /** Group partition of multi-group buckets (rare path). */
+        std::vector<std::pair<uint32_t, std::vector<BatchOp>>> parts;
+    };
 
     void runShardBatch(unsigned s, std::span<const BatchOp> ops);
+    /** Per-op replay of @p ops through the shard's point mask. */
+    void runShardSerial(unsigned s, std::span<const BatchOp> ops);
+    /**
+     * Plan and execute one group's ops column-parallel; falls back
+     * to runShardSerial when the group is signed-mode, the bucket
+     * has negative deltas, or a plan would not beat per-op replay.
+     */
+    void runGroupPlanned(unsigned s, uint32_t group,
+                         std::span<const BatchOp> ops);
     /** Run @p fn(shard) on every shard in parallel, then drain. */
     template <typename Fn> void forEachShard(Fn &&fn);
 
     EngineConfig cfg_;
     std::vector<size_t> starts_; ///< numShards+1 range boundaries
     std::vector<std::unique_ptr<C2MEngine>> shards_;
-    std::vector<size_t> pointCol_; ///< column in shard's point mask
+    std::vector<PlannerScratch> scratch_; ///< one per shard
     /** Single-writer guard per shard for the stealing path. */
     std::unique_ptr<std::atomic<bool>[]> shardBusy_;
     unsigned numMasks_ = 0;

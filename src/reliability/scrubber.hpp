@@ -37,6 +37,17 @@
  * buckets or noteBatch). Broadcast accumulates and tensor ops bypass
  * the journal; call rebase() after driving such ops, or the next
  * sweep would "correct" legitimate state away.
+ *
+ * Drain-planner interplay: when the engine executes a bucket as
+ * column-parallel digit planes (EngineConfig::drainPlanner), the
+ * journal still records exactly the planned deltas — onShardOps
+ * receives the same coalesced ops the planner folds, and the journal
+ * keys per-counter *sums*, which plans preserve by construction
+ * (digit decomposition of the summed delta). Plans also ripple
+ * through the same IARM scheduler the sweep's drain() uses, so the
+ * canonical expected image is unchanged and a scrubbed planner run
+ * stays bit-identical to fault-free serial replay (pinned by
+ * test_reliability.cpp).
  */
 
 #include <cstdint>

@@ -21,6 +21,11 @@
  * pair becomes +2, which never takes the signed path). Deltas are
  * summed in int64 without overflow checks; callers feed counter
  * deltas, which are far below the 2^63 boundary.
+ *
+ * Coalescing is the planner's feeder: the coalesced bucket is what
+ * ShardedEngine's digit-plane drain planner decomposes into shared
+ * (digit, k) plane masks, turning the per-epoch op list into at most
+ * D*(R-1) column-parallel fabric programs per group.
  */
 
 #include <cstdint>

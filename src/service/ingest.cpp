@@ -21,8 +21,28 @@ ServiceStats::toCounters() const
         {"service.flushed_ops", flushedOps},
         {"service.epochs", epochs},
         {"service.steals", steals},
+        {"service.plans", plans},
+        {"service.plan_programs", planPrograms},
+        {"service.planned_ops", plannedOps},
+        {"service.plan_fallback_ops", planFallbackOps},
     };
 }
+
+namespace {
+
+/** Attribute a drain's planner activity to this epoch's stats. */
+void
+addPlanDelta(ServiceStats &es, const core::EngineStats &before,
+             const core::EngineStats &after)
+{
+    es.plans += after.plansExecuted - before.plansExecuted;
+    es.planPrograms += after.planPrograms - before.planPrograms;
+    es.plannedOps += after.plannedOps - before.plannedOps;
+    es.planFallbackOps +=
+        after.planFallbackOps - before.planFallbackOps;
+}
+
+} // namespace
 
 IngestService::IngestService(core::ShardedEngine &engine,
                              const IngestConfig &cfg)
@@ -198,7 +218,9 @@ IngestService::stop()
         }
         es.flushedOps = ops.size();
         std::lock_guard<std::mutex> ek(engineMutex_);
+        const auto before = engine_.stats();
         engine_.runShardOps(s, ops);
+        addPlanDelta(es, before, engine_.stats());
         if (observer)
             observer->onShardOps(s, ops);
         std::lock_guard<std::mutex> lk(m_);
@@ -331,7 +353,9 @@ IngestService::runEpoch(uint64_t epoch)
     const auto t0 = std::chrono::steady_clock::now();
     {
         std::lock_guard<std::mutex> ek(engineMutex_);
+        const auto before = engine_.stats();
         executeEpoch(epoch, buckets, es);
+        addPlanDelta(es, before, engine_.stats());
         if (observer_) {
             // Observer hooks run before the epoch is marked applied,
             // so a scrub at the boundary is visible to every snapshot

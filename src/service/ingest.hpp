@@ -16,7 +16,12 @@
  *   3. execute: per-shard buckets run on the engine's lane pool —
  *      either pinned to their home lane, or (workStealing) claimed
  *      whole by whichever lane is free, so one skewed shard cannot
- *      serialize the epoch behind busy lanes.
+ *      serialize the epoch behind busy lanes. With the engine's
+ *      drain planner on (EngineConfig::drainPlanner, default), each
+ *      bucket executes as column-parallel digit planes — at most
+ *      D*(R-1) masked fabric programs per group per epoch instead
+ *      of one program sequence per op; ServiceStats::plans* sample
+ *      the per-epoch planner activity.
  *
  * Ordering and consistency:
  *  - Per (producer, shard), ops apply in submission order; a
@@ -82,6 +87,14 @@ struct ServiceStats
     uint64_t flushedOps = 0; ///< ops actually executed on the fabric
     uint64_t epochs = 0;     ///< drain epochs applied
     uint64_t steals = 0;     ///< buckets executed off their home lane
+    // Drain-planner activity, sampled per epoch from the engine
+    // stats delta while the drainer holds the engine, so the numbers
+    // attribute column-parallel execution to ingest epochs even when
+    // other drivers (scrubber, tensor ops) share the engine.
+    uint64_t plans = 0;        ///< column-parallel plans executed
+    uint64_t planPrograms = 0; ///< masked plane increments issued
+    uint64_t plannedOps = 0;   ///< ops folded into plans
+    uint64_t planFallbackOps = 0; ///< ops replayed per-op instead
 
     ServiceStats &operator+=(const ServiceStats &o)
     {
@@ -93,6 +106,10 @@ struct ServiceStats
         flushedOps += o.flushedOps;
         epochs += o.epochs;
         steals += o.steals;
+        plans += o.plans;
+        planPrograms += o.planPrograms;
+        plannedOps += o.plannedOps;
+        planFallbackOps += o.planFallbackOps;
         return *this;
     }
 

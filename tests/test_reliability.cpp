@@ -235,6 +235,55 @@ TEST(ReliabilityIngest, ScrubbedRunMatchesFaultFreeReplay)
     ASSERT_TRUE(report.count("health.fault_rate_ppt"));
 }
 
+TEST(ReliabilityIngest, ScrubbedPlannerDrainMatchesFaultFreeReplay)
+{
+    // Column-parallel drain plans under live CIM faults: the journal
+    // records the planned (coalesced) deltas, so sweeps reconstruct
+    // the exact expected image and the run ends bit-identical to a
+    // fault-free serial replay — with far fewer fabric programs.
+    const auto cfg = faultyConfig(96, 1e-3, 23);
+    const auto ops = randomOps(3000, cfg.numCounters, 7, false);
+    const auto ref = faultFreeReference(cfg, ops);
+
+    ShardedEngine eng(cfg, 4);
+    Scrubber scrub(eng, {});
+    service::IngestConfig icfg;
+    icfg.minDrainOps = 256; // real coalesced buckets per epoch
+    icfg.queueCapacity = ops.size();
+    service::IngestService svc(eng, icfg);
+    svc.attachObserver(&scrub);
+
+    service::submitConcurrent(svc, ops, 4);
+    const auto snap = svc.snapshot();
+    EXPECT_EQ(snap.counters, ref);
+
+    // The plans actually engaged (this is not fallback coverage),
+    // and the scrubber journaled every planned delta.
+    const auto est = svc.engineStats();
+    EXPECT_GT(est.plansExecuted, 0u);
+    EXPECT_GT(est.plannedOps, 0u);
+    const auto st = scrub.stats();
+    EXPECT_GT(st.sweeps, 0u);
+    EXPECT_GT(st.opsJournaled, 0u);
+    EXPECT_EQ(st.mirrorWordsLost, 0u);
+}
+
+TEST(ReliabilityIngest, PlannerOffScrubbedRunStaysExactToo)
+{
+    auto cfg = faultyConfig(64, 1e-3, 29);
+    cfg.drainPlanner = false;
+    const auto ops = randomOps(1500, cfg.numCounters, 13, false);
+    const auto ref = faultFreeReference(cfg, ops);
+
+    ShardedEngine eng(cfg, 4);
+    Scrubber scrub(eng, {});
+    service::IngestService svc(eng, {});
+    svc.attachObserver(&scrub);
+    service::submitConcurrent(svc, ops, 2);
+    EXPECT_EQ(svc.snapshot().counters, ref);
+    EXPECT_EQ(svc.engineStats().plansExecuted, 0u);
+}
+
 TEST(ReliabilityIngest, UnscrubbedRunShowsUncorrectedErrors)
 {
     const auto cfg = faultyConfig(96, 1e-3, 11);

@@ -159,6 +159,53 @@ TEST(Ingest, CoalescingHalvesFabricOpsBitIdentical)
     EXPECT_LE(2 * inputs_on, inputs_off);
 }
 
+TEST(Ingest, PlannerDrainCutsFabricProgramsBitIdentical)
+{
+    auto cfg = baseConfig(64);
+    // All-positive skewed stream in a one-epoch window, so each
+    // shard's coalesced bucket becomes one digit-plane plan.
+    Rng rng(29);
+    std::vector<BatchOp> ops;
+    for (size_t i = 0; i < 800; ++i)
+        ops.push_back({rng.nextBounded(cfg.numCounters),
+                       static_cast<int64_t>(1 + rng.nextBounded(9)),
+                       0});
+    const auto reference = core::replaySerial(cfg, ops);
+
+    uint64_t programs_on = 0, programs_off = 0;
+    for (const bool planner : {true, false}) {
+        auto pcfg = cfg;
+        pcfg.drainPlanner = planner;
+        ShardedEngine engine(pcfg, 4);
+        IngestConfig icfg;
+        icfg.minDrainOps = ops.size();
+        icfg.queueCapacity = 2 * ops.size();
+        IngestService svc(engine, icfg);
+        EXPECT_EQ(svc.submit(ops), ops.size());
+        EXPECT_EQ(svc.readCounters(), reference);
+        const auto est = svc.engineStats();
+        const auto sst = svc.serviceStats();
+        (planner ? programs_on : programs_off) = est.increments;
+        if (planner) {
+            // Per-epoch plan stats are sampled from the engine delta
+            // while the drainer holds the engine.
+            EXPECT_GT(sst.plans, 0u);
+            EXPECT_GT(sst.planPrograms, 0u);
+            EXPECT_EQ(sst.plannedOps + sst.planFallbackOps,
+                      sst.flushedOps + 0u);
+            const auto report = svc.report();
+            EXPECT_EQ(report.at("service.plans"), sst.plans);
+            EXPECT_EQ(report.at("engine.plan_programs"),
+                      est.planPrograms);
+        } else {
+            EXPECT_EQ(sst.plans, 0u);
+            EXPECT_EQ(sst.planPrograms, 0u);
+        }
+    }
+    // The column-parallel drain must clearly beat per-op replay.
+    EXPECT_LT(4 * programs_on, programs_off);
+}
+
 TEST(Ingest, SnapshotNeverTearsAnAtomicSpan)
 {
     const auto cfg = baseConfig(64);
@@ -336,11 +383,12 @@ TEST(Ingest, DrainLatencyPercentilesTrackEpochs)
 
 TEST(ServiceStatsCounters, SumsAndCoversEveryField)
 {
-    static_assert(sizeof(ServiceStats) == 8 * sizeof(uint64_t),
+    static_assert(sizeof(ServiceStats) == 12 * sizeof(uint64_t),
                   "ServiceStats changed; update operator+=, "
                   "toCounters and this test");
-    ServiceStats a{1, 2, 3, 4, 5, 6, 7, 8};
-    const ServiceStats b{10, 20, 30, 40, 50, 60, 70, 80};
+    ServiceStats a{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12};
+    const ServiceStats b{10,  20,  30,  40,  50,  60,
+                         70,  80,  90,  100, 110, 120};
     a += b;
     EXPECT_EQ(a.submitted, 11u);
     EXPECT_EQ(a.queued, 22u);
@@ -350,23 +398,32 @@ TEST(ServiceStatsCounters, SumsAndCoversEveryField)
     EXPECT_EQ(a.flushedOps, 66u);
     EXPECT_EQ(a.epochs, 77u);
     EXPECT_EQ(a.steals, 88u);
-    EXPECT_EQ(a.toCounters().size(), 8u);
+    EXPECT_EQ(a.plans, 99u);
+    EXPECT_EQ(a.planPrograms, 110u);
+    EXPECT_EQ(a.plannedOps, 121u);
+    EXPECT_EQ(a.planFallbackOps, 132u);
+    EXPECT_EQ(a.toCounters().size(), 12u);
 }
 
 TEST(EngineStatsCounters, CoversEveryField)
 {
-    static_assert(sizeof(EngineStats) == 17 * sizeof(uint64_t),
+    static_assert(sizeof(EngineStats) == 21 * sizeof(uint64_t),
                   "EngineStats changed; update toCounters and this "
                   "test");
-    const EngineStats s{1, 2,  3,  4,  5,  6,  7,  8,  9,  10, 11,
-                        {12, 13, 14, 15, 16, 17}};
+    const EngineStats s{1,  2,  3,  4,  5,  6,  7, 8,
+                        9,  10, 11, 12, 13, 14, 15,
+                        {16, 17, 18, 19, 20, 21}};
     const auto m = s.toCounters();
-    EXPECT_EQ(m.size(), 17u);
+    EXPECT_EQ(m.size(), 21u);
     EXPECT_EQ(m.at("engine.inputs_accumulated"), 1u);
     EXPECT_EQ(m.at("engine.program_cache_misses"), 11u);
-    EXPECT_EQ(m.at("engine.fabric.aap"), 12u);
-    EXPECT_EQ(m.at("engine.fabric.faults_injected"), 15u);
-    EXPECT_EQ(m.at("engine.fabric.row_writes"), 17u);
+    EXPECT_EQ(m.at("engine.plans_executed"), 12u);
+    EXPECT_EQ(m.at("engine.plan_programs"), 13u);
+    EXPECT_EQ(m.at("engine.planned_ops"), 14u);
+    EXPECT_EQ(m.at("engine.plan_fallback_ops"), 15u);
+    EXPECT_EQ(m.at("engine.fabric.aap"), 16u);
+    EXPECT_EQ(m.at("engine.fabric.faults_injected"), 19u);
+    EXPECT_EQ(m.at("engine.fabric.row_writes"), 21u);
 }
 
 TEST(CounterMaps, MergeSumsMatchingKeys)

@@ -278,14 +278,16 @@ TEST(EngineStatsMerge, SumsEveryField)
 {
     // A new EngineStats field changes this size and fails here:
     // extend operator+= and the checks below together.
-    static_assert(sizeof(EngineStats) == 17 * sizeof(uint64_t),
+    static_assert(sizeof(EngineStats) == 21 * sizeof(uint64_t),
                   "EngineStats changed; update operator+= and this "
                   "test");
 
-    EngineStats a{1, 2,  3,  4,  5,  6,  7,  8,  9,  10, 11,
-                  {12, 13, 14, 15, 16, 17}};
-    const EngineStats b{10,  20,  30,  40,  50,  60,  70,  80, 90,
-                        100, 110, {120, 130, 140, 150, 160, 170}};
+    EngineStats a{1,  2,  3,  4,  5,  6,  7, 8,
+                  9,  10, 11, 12, 13, 14, 15,
+                  {16, 17, 18, 19, 20, 21}};
+    const EngineStats b{10,  20,  30,  40,  50,  60,  70,  80,
+                        90,  100, 110, 120, 130, 140, 150,
+                        {160, 170, 180, 190, 200, 210}};
     a += b;
     EXPECT_EQ(a.inputsAccumulated, 11u);
     EXPECT_EQ(a.increments, 22u);
@@ -298,12 +300,288 @@ TEST(EngineStatsMerge, SumsEveryField)
     EXPECT_EQ(a.voteOps, 99u);
     EXPECT_EQ(a.programCacheHits, 110u);
     EXPECT_EQ(a.programCacheMisses, 121u);
-    EXPECT_EQ(a.fabric.aap, 132u);
-    EXPECT_EQ(a.fabric.ap, 143u);
-    EXPECT_EQ(a.fabric.tra, 154u);
-    EXPECT_EQ(a.fabric.faultsInjected, 165u);
-    EXPECT_EQ(a.fabric.rowReads, 176u);
-    EXPECT_EQ(a.fabric.rowWrites, 187u);
+    EXPECT_EQ(a.plansExecuted, 132u);
+    EXPECT_EQ(a.planPrograms, 143u);
+    EXPECT_EQ(a.plannedOps, 154u);
+    EXPECT_EQ(a.planFallbackOps, 165u);
+    EXPECT_EQ(a.fabric.aap, 176u);
+    EXPECT_EQ(a.fabric.ap, 187u);
+    EXPECT_EQ(a.fabric.tra, 198u);
+    EXPECT_EQ(a.fabric.faultsInjected, 209u);
+    EXPECT_EQ(a.fabric.rowReads, 220u);
+    EXPECT_EQ(a.fabric.rowWrites, 231u);
+}
+
+// ---------------------------------------------------------------------
+// Digit-plane drain planner
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** Positive-delta stream (plans engage; no signed fallback). */
+std::vector<BatchOp>
+positiveOps(size_t n, size_t counters, uint64_t seed,
+            unsigned groups = 1)
+{
+    Rng rng(seed);
+    std::vector<BatchOp> ops;
+    ops.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        ops.push_back({rng.nextBounded(counters),
+                       static_cast<int64_t>(1 + rng.nextBounded(50)),
+                       static_cast<uint32_t>(rng.nextBounded(groups))});
+    return ops;
+}
+
+/** Zipf(1.0)-skewed keys: the coalesced-bucket shape epochs see. */
+std::vector<BatchOp>
+zipfOps(size_t n, size_t counters, uint64_t seed)
+{
+    ZipfRng keys(counters, 1.0, seed);
+    Rng val(seed ^ 0x5bf0);
+    std::vector<BatchOp> ops;
+    ops.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        ops.push_back({keys.next(),
+                       static_cast<int64_t>(1 + val.nextBounded(7)),
+                       0});
+    return ops;
+}
+
+/** Adversarial: every counter hit once, every delta distinct. */
+std::vector<BatchOp>
+distinctDeltaOps(size_t counters)
+{
+    std::vector<BatchOp> ops;
+    ops.reserve(counters);
+    for (size_t c = 0; c < counters; ++c)
+        ops.push_back({c, static_cast<int64_t>(c + 1), 0});
+    return ops;
+}
+
+/** Run @p ops as one sharded batch with the planner on/off. */
+std::pair<std::vector<int64_t>, EngineStats>
+runPlanned(EngineConfig cfg, const std::vector<BatchOp> &ops,
+           bool planner, unsigned shards = 4)
+{
+    cfg.drainPlanner = planner;
+    ShardedEngine eng(cfg, shards);
+    eng.accumulateBatch(ops);
+    return {eng.readAllCounters(), eng.stats()};
+}
+
+} // namespace
+
+TEST(DrainPlanner, UniformStreamMatchesSerialReplay)
+{
+    const auto cfg = baseConfig(96);
+    const auto ops = positiveOps(600, cfg.numCounters, 3);
+    const auto ref = core::replaySerial(cfg, ops);
+
+    const auto [on, stats_on] = runPlanned(cfg, ops, true);
+    const auto [off, stats_off] = runPlanned(cfg, ops, false);
+    EXPECT_EQ(on, ref);
+    EXPECT_EQ(off, ref);
+    EXPECT_GT(stats_on.plansExecuted, 0u);
+    EXPECT_GT(stats_on.planPrograms, 0u);
+    EXPECT_EQ(stats_on.plannedOps + stats_on.planFallbackOps,
+              ops.size());
+    // The column-parallel win: far fewer fabric programs.
+    EXPECT_LT(stats_on.increments, stats_off.increments / 4);
+    EXPECT_EQ(stats_off.plansExecuted, 0u);
+    EXPECT_EQ(stats_on.inputsAccumulated, ops.size());
+}
+
+TEST(DrainPlanner, ZipfStreamMatchesSerialReplay)
+{
+    const auto cfg = baseConfig(256);
+    const auto ops = zipfOps(2000, cfg.numCounters, 21);
+    const auto ref = core::replaySerial(cfg, ops);
+
+    const auto [on, stats_on] = runPlanned(cfg, ops, true);
+    EXPECT_EQ(on, ref);
+    EXPECT_GT(stats_on.plansExecuted, 0u);
+}
+
+TEST(DrainPlanner, AdversarialDistinctDeltasMatch)
+{
+    // All-distinct deltas populate the most planes per plan — the
+    // worst case for plane sharing; correctness must hold whether
+    // the cost heuristic plans or falls back.
+    const auto cfg = baseConfig(128);
+    const auto ops = distinctDeltaOps(cfg.numCounters);
+    const auto ref = core::replaySerial(cfg, ops);
+
+    const auto [on, stats_on] = runPlanned(cfg, ops, true);
+    EXPECT_EQ(on, ref);
+    EXPECT_EQ(stats_on.plannedOps + stats_on.planFallbackOps,
+              ops.size());
+}
+
+TEST(DrainPlanner, PlanProgramsBoundedByDigitPlanes)
+{
+    const auto cfg = baseConfig(256);
+    const auto ops = positiveOps(1500, cfg.numCounters, 9);
+
+    EngineConfig pcfg = cfg;
+    pcfg.drainPlanner = true;
+    ShardedEngine eng(pcfg, 4);
+    eng.accumulateBatch(ops);
+    const auto st = eng.stats();
+    // One batch = at most one plan per (shard, group); each plan
+    // issues at most D*(R-1) plane programs.
+    const unsigned D = eng.shard(0).backend().numDigits();
+    const uint64_t bound = static_cast<uint64_t>(D) *
+                           (cfg.radix - 1) * eng.numShards();
+    EXPECT_LE(st.planPrograms, bound);
+    EXPECT_LE(st.plansExecuted, eng.numShards());
+    EXPECT_EQ(eng.readAllCounters(), core::replaySerial(cfg, ops));
+}
+
+TEST(DrainPlanner, GuardDigitSumsFallBackInsteadOfPanicking)
+{
+    // 70000 unit hits on one counter: each raw op is in range, but
+    // the summed delta's top digit would land in the guard digit the
+    // planner cannot address — the bucket must fall back per-op (the
+    // path that grows the counter via ripples), not abort.
+    auto cfg = baseConfig(8);
+    cfg.capacityBits = 16; // D = 9 digits at radix 4
+    std::vector<BatchOp> ops(70000, BatchOp{0, 1, 0});
+    ops.push_back({1, 3, 0});
+
+    EngineConfig pcfg = cfg;
+    pcfg.drainPlanner = true;
+    ShardedEngine eng(pcfg, 1);
+    eng.accumulateBatch(ops);
+    const auto counters = eng.readAllCounters();
+    EXPECT_EQ(counters[0], 70000);
+    EXPECT_EQ(counters[1], 3);
+    EXPECT_GT(eng.stats().planFallbackOps, 0u);
+}
+
+TEST(DrainPlanner, HotKeyDuplicatesPlanAgainstRawOpCost)
+{
+    // An uncoalesced hot-key bucket: the sums collapse to few
+    // counters, so the plan must be costed against the RAW per-op
+    // replay it replaces (~N programs), not against the sums —
+    // otherwise 2000 unit hits would fall back to 2000 program
+    // chains where a handful of planes suffice.
+    const auto cfg = baseConfig(32);
+    std::vector<BatchOp> ops(2000, BatchOp{4, 1, 0});
+    const auto ref = core::replaySerial(cfg, ops);
+
+    const auto [on, stats_on] = runPlanned(cfg, ops, true, 1);
+    EXPECT_EQ(on, ref);
+    EXPECT_EQ(stats_on.planFallbackOps, 0u);
+    EXPECT_GT(stats_on.plansExecuted, 0u);
+    EXPECT_LT(stats_on.increments, 20u);
+}
+
+TEST(DrainPlanner, SignedBucketsFallBackPerOp)
+{
+    const auto cfg = baseConfig(64);
+    const auto ops = randomOps(400, cfg.numCounters, 19, true);
+    const auto ref = runSingle(cfg, ops);
+
+    const auto [on, stats_on] = runPlanned(cfg, ops, true);
+    EXPECT_EQ(on, ref);
+    EXPECT_GT(stats_on.planFallbackOps, 0u);
+}
+
+TEST(DrainPlanner, SignedModeGroupNeverPlans)
+{
+    // Once a group saw a decrement, every later bucket must take the
+    // per-op path (pending flags stay fully resolved in signed mode).
+    const auto cfg = baseConfig(32);
+    EngineConfig pcfg = cfg;
+    pcfg.drainPlanner = true;
+    ShardedEngine eng(pcfg, 1);
+    std::vector<BatchOp> neg{{3, -5, 0}};
+    eng.accumulateBatch(neg);
+    const auto pos = positiveOps(100, cfg.numCounters, 31);
+    eng.accumulateBatch(pos);
+
+    const auto st = eng.stats();
+    EXPECT_EQ(st.plansExecuted, 0u);
+    EXPECT_EQ(st.planFallbackOps, 1 + pos.size());
+
+    std::vector<BatchOp> all = neg;
+    all.insert(all.end(), pos.begin(), pos.end());
+    EXPECT_EQ(eng.readAllCounters(), runSingle(cfg, all));
+}
+
+TEST(DrainPlanner, MultiGroupBucketsPlanIndependently)
+{
+    auto cfg = baseConfig(64);
+    cfg.numGroups = 3;
+    const auto ops = positiveOps(900, cfg.numCounters, 41, 3);
+
+    EngineConfig pcfg = cfg;
+    pcfg.drainPlanner = true;
+    ShardedEngine eng(pcfg, 2);
+    eng.accumulateBatch(ops);
+    EXPECT_GT(eng.stats().plansExecuted, 0u);
+    for (unsigned g = 0; g < 3; ++g)
+        EXPECT_EQ(eng.readAllCounters(g),
+                  core::replaySerial(cfg, ops, g))
+            << "group " << g;
+}
+
+class PlannerBackends
+    : public ::testing::TestWithParam<core::BackendKind>
+{
+};
+
+TEST_P(PlannerBackends, PlannedBatchMatchesSerialReplay)
+{
+    auto cfg = baseConfig(64);
+    cfg.backend = GetParam();
+    cfg.capacityBits = 16;
+    const auto ops = zipfOps(1200, cfg.numCounters, 61);
+    const auto ref = core::replaySerial(cfg, ops);
+
+    const auto [on, stats_on] = runPlanned(cfg, ops, true);
+    const auto [off, stats_off] = runPlanned(cfg, ops, false);
+    EXPECT_EQ(on, ref);
+    EXPECT_EQ(off, ref);
+    EXPECT_GT(stats_on.plansExecuted, 0u);
+    EXPECT_LT(stats_on.increments, stats_off.increments);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, PlannerBackends,
+    ::testing::Values(core::BackendKind::Ambit,
+                      core::BackendKind::NvmPinatubo,
+                      core::BackendKind::NvmMagic,
+                      core::BackendKind::Rca),
+    [](const ::testing::TestParamInfo<core::BackendKind> &info) {
+        switch (info.param) {
+          case core::BackendKind::Ambit:
+            return "ambit";
+          case core::BackendKind::NvmPinatubo:
+            return "nvm_pinatubo";
+          case core::BackendKind::NvmMagic:
+            return "nvm_magic";
+          default:
+            return "rca";
+        }
+    });
+
+TEST(DrainPlanner, ProtectedConfigsStayExact)
+{
+    for (const auto prot : {Protection::Ecc, Protection::Tmr}) {
+        auto cfg = baseConfig(48);
+        cfg.protection = prot;
+        const auto ops = positiveOps(300, cfg.numCounters, 51);
+        const auto ref = core::replaySerial(cfg, ops);
+        const auto [on, stats_on] = runPlanned(cfg, ops, true);
+        EXPECT_EQ(on, ref);
+        EXPECT_GT(stats_on.plansExecuted, 0u);
+        if (prot == Protection::Ecc)
+            EXPECT_GT(stats_on.checksRun, 0u);
+        else
+            EXPECT_GT(stats_on.voteOps, 0u);
+    }
 }
 
 TEST(ShardedWorkloads, DnaBatchedHistogramMatchesHost)
