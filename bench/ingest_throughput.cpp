@@ -20,10 +20,18 @@
  *    (digit, k) plane instead of one program chain per counter.
  *  - bit-identity: every cell's final counters are compared against
  *    one blocking C2MEngine replaying the same stream serially.
+ *  - fabric cost (EngineStats fabric ns/nj, docs/perf.md): every
+ *    cell reports the modeled fabric time and energy of its stream.
+ *  - plan-path program caching: an extra Zipf cell drains the same
+ *    stream over a 16-epoch window; because digit planes live in
+ *    persistent reserved mask rows, plan programs generated in the
+ *    first epochs replay from the ProgramCache afterwards — the
+ *    cell's hit rate must exceed 90%.
  *
  * Exit status: 0 iff the 4-producer / 4-shard Zipf cell coalesces
- * >= 2x, the planner cuts its fabric programs >= 5x, and every cell
- * matches the serial replay.
+ * >= 2x, the planner cuts its fabric programs >= 5x, the multi-epoch
+ * cell's cache hit rate is > 0.9, every cell reports nonzero fabric
+ * ns and nj, and every cell matches the serial replay.
  */
 
 #include <chrono>
@@ -115,26 +123,51 @@ struct Cell
     uint64_t planPrograms = 0;
     uint64_t plannedOps = 0;
     uint64_t planFallbackOps = 0;
+    uint64_t cacheHits = 0;
+    uint64_t cacheMisses = 0;
+    double fabricNs = 0.0;
+    double fabricNj = 0.0;
+    double fabricCriticalNs = 0.0;
+    size_t minDrainOps = kNumOps;
     bool match = false;
 };
 
 Cell
 runCell(const char *dist, const std::vector<core::BatchOp> &ops,
         const std::vector<int64_t> &reference, unsigned shards,
-        unsigned producers, bool coalesce, bool planner)
+        unsigned producers, bool coalesce, bool planner,
+        size_t min_drain_ops = kNumOps, size_t chunks = 1)
 {
     Cell cell{dist, shards, producers, coalesce, planner};
+    cell.minDrainOps = min_drain_ops;
     core::ShardedEngine engine(engineConfig(planner), shards);
     service::IngestConfig icfg;
     icfg.coalesce = coalesce;
-    // One-epoch coalescing window: drain only once the whole stream
-    // is queued (flush/stop still override), maximizing merges.
-    icfg.minDrainOps = kNumOps;
+    // Default: one-epoch coalescing window — drain only once the
+    // whole stream is queued (flush/stop still override), maximizing
+    // merges. Smaller windows split the stream into multiple epochs.
+    icfg.minDrainOps = min_drain_ops;
     icfg.queueCapacity = 2 * kNumOps;
     service::IngestService svc(engine, icfg);
 
     const auto t0 = Clock::now();
-    service::submitConcurrent(svc, ops, producers);
+    if (chunks <= 1) {
+        service::submitConcurrent(svc, ops, producers);
+    } else {
+        // Deterministic multi-epoch drive: flush after each slice so
+        // every slice is its own epoch (a bare window would race the
+        // producers and drain everything at once).
+        const size_t per = (ops.size() + chunks - 1) / chunks;
+        for (size_t lo = 0; lo < ops.size(); lo += per) {
+            const size_t hi = std::min(ops.size(), lo + per);
+            service::submitConcurrent(
+                svc,
+                std::span<const core::BatchOp>(ops).subspan(
+                    lo, hi - lo),
+                producers);
+            svc.flushAndWait();
+        }
+    }
     const auto counters = svc.readCounters();
     cell.timeS = secondsSince(t0);
     cell.opsPerS = static_cast<double>(kNumOps) / cell.timeS;
@@ -152,6 +185,11 @@ runCell(const char *dist, const std::vector<core::BatchOp> &ops,
     cell.planPrograms = sst.planPrograms;
     cell.plannedOps = sst.plannedOps;
     cell.planFallbackOps = sst.planFallbackOps;
+    cell.cacheHits = est.programCacheHits;
+    cell.cacheMisses = est.programCacheMisses;
+    cell.fabricNs = est.fabric.fabricNs;
+    cell.fabricNj = est.fabric.fabricNj;
+    cell.fabricCriticalNs = est.fabricCriticalNs;
     return cell;
 }
 
@@ -168,6 +206,7 @@ main()
     bool all_match = true;
     double zipf_on = 0.0, zipf_off = 0.0;
     double zipf_prog_plan = 0.0, zipf_prog_noplan = 0.0;
+    double cache_hit_rate = 0.0;
     for (const bool zipf : {false, true}) {
         const char *dist = zipf ? "zipf1.0" : "uniform";
         const auto ops = makeStream(zipf);
@@ -205,11 +244,28 @@ main()
                 }
             }
         }
+        if (zipf) {
+            // Multi-epoch planner-cache cell: drain the same stream
+            // over a ~16-epoch window. Digit planes live in
+            // persistent reserved mask rows, so the plan programs
+            // generated in the first epochs replay from the
+            // ProgramCache in every later one.
+            auto cell = runCell("zipf-16ep", ops, reference, 4, 4,
+                                true, true, kNumOps / 16, 16);
+            all_match = all_match && cell.match;
+            const uint64_t lookups =
+                cell.cacheHits + cell.cacheMisses;
+            cache_hit_rate =
+                lookups ? static_cast<double>(cell.cacheHits) /
+                              static_cast<double>(lookups)
+                        : 0.0;
+            cells.push_back(cell);
+        }
     }
 
     TextTable t({"dist", "shards", "prod", "coalesce", "plan",
                  "time_s", "ops/s", "fabric_in", "programs",
-                 "plan_progs", "match"});
+                 "plan_progs", "fabric_us", "match"});
     for (const auto &c : cells)
         t.addRow({c.dist, std::to_string(c.shards),
                   std::to_string(c.producers),
@@ -219,8 +275,14 @@ main()
                   std::to_string(c.fabricInputs),
                   std::to_string(c.fabricIncrements),
                   std::to_string(c.planPrograms),
+                  TextTable::fmt(c.fabricNs / 1e3, 1),
                   c.match ? "yes" : "NO"});
     std::printf("%s", t.render().c_str());
+
+    bool all_fabric = true;
+    for (const auto &c : cells)
+        all_fabric = all_fabric && c.fabricNs > 0.0 &&
+                     c.fabricNj > 0.0 && c.fabricCriticalNs > 0.0;
 
     const double reduction = zipf_on > 0.0 ? zipf_off / zipf_on : 0.0;
     const double plan_reduction =
@@ -232,6 +294,11 @@ main()
     std::printf("zipf 4x4 fabric-program reduction from the drain "
                 "planner: %.2fx (need >= 5x)\n",
                 plan_reduction);
+    std::printf("multi-epoch plan-path cache hit rate: %.1f%% "
+                "(need > 90%%)\n",
+                100.0 * cache_hit_rate);
+    std::printf("every cell reports nonzero fabric ns/nj: %s\n",
+                all_fabric ? "yes" : "NO");
     std::printf("all cells bit-identical to serial replay: %s\n",
                 all_match ? "yes" : "NO");
 
@@ -242,10 +309,11 @@ main()
                      "  \"num_counters\": %zu,\n"
                      "  \"zipf_4x4_fabric_reduction\": %.3f,\n"
                      "  \"plan_reduction\": %.3f,\n"
+                     "  \"plan_cache_hit_rate\": %.4f,\n"
                      "  \"all_match_serial_replay\": %s,\n"
                      "  \"cells\": [\n",
                      kNumOps, kNumCounters, reduction, plan_reduction,
-                     all_match ? "true" : "false");
+                     cache_hit_rate, all_match ? "true" : "false");
         for (size_t i = 0; i < cells.size(); ++i) {
             const auto &c = cells[i];
             std::fprintf(
@@ -261,6 +329,10 @@ main()
                 "\"plans\": %llu, \"plan_programs\": %llu, "
                 "\"planned_ops\": %llu, "
                 "\"plan_fallback_ops\": %llu, "
+                "\"cache_hits\": %llu, \"cache_misses\": %llu, "
+                "\"min_drain_ops\": %zu, "
+                "\"fabric_ns\": %.1f, \"fabric_nj\": %.1f, "
+                "\"fabric_critical_ns\": %.1f, "
                 "\"match_reference\": %s}%s\n",
                 c.dist, c.shards, c.producers,
                 c.coalesce ? "true" : "false",
@@ -275,14 +347,18 @@ main()
                 static_cast<unsigned long long>(c.planPrograms),
                 static_cast<unsigned long long>(c.plannedOps),
                 static_cast<unsigned long long>(c.planFallbackOps),
-                c.match ? "true" : "false",
+                static_cast<unsigned long long>(c.cacheHits),
+                static_cast<unsigned long long>(c.cacheMisses),
+                c.minDrainOps, c.fabricNs, c.fabricNj,
+                c.fabricCriticalNs, c.match ? "true" : "false",
                 i + 1 < cells.size() ? "," : "");
         }
         std::fprintf(f, "  ]\n}\n");
         std::fclose(f);
         std::printf("wrote BENCH_ingest.json\n");
     }
-    return (reduction >= 2.0 && plan_reduction >= 5.0 && all_match)
+    return (reduction >= 2.0 && plan_reduction >= 5.0 &&
+            cache_hit_rate > 0.9 && all_fabric && all_match)
                ? 0
                : 1;
 }

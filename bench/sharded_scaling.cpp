@@ -12,6 +12,11 @@
  * programs per group, so fabric programs stop scaling with the op
  * count at all. Both planner settings must stay bit-identical to the
  * serial replay baseline.
+ *
+ * Every row also reports the modeled fabric cost (EngineStats fabric
+ * ns/nj plus the tFAW/tRRD-floored critical path, docs/perf.md), and
+ * the JSON carries an analytical GPU baseline (GpuModel::countingRun)
+ * costed on the same axis for the Fig. 14-style comparison.
  */
 
 #include <chrono>
@@ -19,6 +24,7 @@
 
 #include "common/rng.hpp"
 #include "common/table.hpp"
+#include "core/gpu_model.hpp"
 #include "core/sharded.hpp"
 
 using namespace c2m;
@@ -56,7 +62,8 @@ main()
                 "logical counters\n",
                 num_ops, cfg.numCounters);
     TextTable t({"planner", "shards", "time_s", "ops/s", "speedup",
-                 "programs", "plan_progs", "cache_hit%"});
+                 "programs", "plan_progs", "cache_hit%",
+                 "fabric_us", "crit_us"});
     struct Row
     {
         bool planner;
@@ -68,6 +75,9 @@ main()
         uint64_t planPrograms;
         uint64_t planFallbackOps;
         double cacheHitFrac;
+        double fabricNs;
+        double fabricNj;
+        double fabricCriticalNs;
         bool match;
     };
     std::vector<Row> rows;
@@ -116,14 +126,19 @@ main()
                             st.increments - st0.increments,
                             st.planPrograms - st0.planPrograms,
                             st.planFallbackOps - st0.planFallbackOps,
-                            hit_frac, match});
+                            hit_frac,
+                            st.fabric.fabricNs - st0.fabric.fabricNs,
+                            st.fabric.fabricNj - st0.fabric.fabricNj,
+                            st.fabricCriticalNs, match});
             const auto &row = rows.back();
             t.addRow({planner ? "on" : "off", std::to_string(shards),
                       TextTable::fmt(dt, 3), TextTable::fmt(rate, 0),
                       TextTable::fmt(speedup, 2),
                       std::to_string(row.increments),
                       std::to_string(row.planPrograms),
-                      TextTable::fmt(100.0 * hit_frac, 1)});
+                      TextTable::fmt(100.0 * hit_frac, 1),
+                      TextTable::fmt(row.fabricNs / 1e3, 1),
+                      TextTable::fmt(row.fabricCriticalNs / 1e3, 1)});
         }
     }
     std::printf("%s", t.render().c_str());
@@ -131,6 +146,21 @@ main()
                 four_shard_ok ? "yes" : "NO");
     std::printf("all cells bit-identical to serial replay: %s\n",
                 all_match ? "yes" : "NO");
+
+    bool all_fabric = true;
+    for (const auto &r : rows)
+        all_fabric = all_fabric && r.fabricNs > 0.0 &&
+                     r.fabricNj > 0.0 && r.fabricCriticalNs > 0.0;
+    std::printf("every row reports nonzero fabric ns/nj: %s\n",
+                all_fabric ? "yes" : "NO");
+
+    // Analytical GPU baseline on the same cost axis (Fig. 14): a
+    // bandwidth-bound scatter-add histogram of the same op stream.
+    const auto gpu = core::GpuModel::rtx3090ti().countingRun(
+        num_ops, cfg.numCounters);
+    std::printf("gpu model (rtx3090ti) same counting run: %.1f us, "
+                "%.1f uJ\n",
+                gpu.ns / 1e3, gpu.nj / 1e3);
 
     // Machine-readable trail for the perf trajectory (BENCH_sharded
     // .json next to the working directory the bench runs in).
@@ -141,9 +171,12 @@ main()
                      "  \"num_ops\": %zu,\n"
                      "  \"num_counters\": %zu,\n"
                      "  \"all_match_serial_replay\": %s,\n"
+                     "  \"gpu_model\": {\"name\": \"rtx3090ti\", "
+                     "\"fabric_ns\": %.1f, \"fabric_nj\": %.1f},\n"
                      "  \"results\": [\n",
                      core::backendName(cfg.backend), num_ops,
-                     cfg.numCounters, all_match ? "true" : "false");
+                     cfg.numCounters, all_match ? "true" : "false",
+                     gpu.ns, gpu.nj);
         for (size_t i = 0; i < rows.size(); ++i)
             std::fprintf(
                 f,
@@ -153,7 +186,9 @@ main()
                 "\"fabric_programs\": %llu, "
                 "\"plan_programs\": %llu, "
                 "\"plan_fallback_ops\": %llu, "
-                "\"program_cache_hit_rate\": %.4f}%s\n",
+                "\"program_cache_hit_rate\": %.4f, "
+                "\"fabric_ns\": %.1f, \"fabric_nj\": %.1f, "
+                "\"fabric_critical_ns\": %.1f}%s\n",
                 rows[i].planner ? "true" : "false", rows[i].shards,
                 rows[i].timeS, rows[i].opsPerS, rows[i].speedup,
                 static_cast<unsigned long long>(rows[i].increments),
@@ -161,11 +196,12 @@ main()
                     rows[i].planPrograms),
                 static_cast<unsigned long long>(
                     rows[i].planFallbackOps),
-                rows[i].cacheHitFrac,
+                rows[i].cacheHitFrac, rows[i].fabricNs,
+                rows[i].fabricNj, rows[i].fabricCriticalNs,
                 i + 1 < rows.size() ? "," : "");
         std::fprintf(f, "  ]\n}\n");
         std::fclose(f);
         std::printf("wrote BENCH_sharded.json\n");
     }
-    return (four_shard_ok && all_match) ? 0 : 1;
+    return (four_shard_ok && all_match && all_fabric) ? 0 : 1;
 }

@@ -29,6 +29,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "cim/cost.hpp"
 #include "cim/fault.hpp"
 #include "cim/rowaddr.hpp"
 #include "common/bitvec.hpp"
@@ -75,6 +76,14 @@ class AmbitSubarray
     FaultModel &fault() { return fault_; }
     Rng &rng() { return rng_; }
 
+    /**
+     * Install per-command fabric costs; every AAP/AP/row access from
+     * here on charges OpStats::fabricNs/fabricNj at its issue point.
+     * Defaults to all-zero (pure command counting).
+     */
+    void setCosts(const CommandCosts &c) { costs_ = c; }
+    const CommandCosts &costs() const { return costs_; }
+
   private:
     /** Storage cell behind a row reference (not C0/C1). */
     BitVector &cell(const RowRef &ref);
@@ -108,6 +117,7 @@ class AmbitSubarray
     BitVector orBuf_;
     FaultModel fault_;
     OpStats stats_;
+    CommandCosts costs_;
     Rng rng_;
 };
 

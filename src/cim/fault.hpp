@@ -34,7 +34,15 @@ struct FaultModel
     }
 };
 
-/** Running tally of executed operations and injected faults. */
+/**
+ * Running tally of executed operations and injected faults, plus the
+ * modeled fabric cost charged at each command issue point. fabricNs
+ * is single-device serial time (the bank executing every command
+ * back to back); bank-level parallelism across shards is applied by
+ * the engines when they report a critical path. TRAs charge no extra
+ * time or energy — the triple activation is part of the AAP/AP that
+ * issued it.
+ */
 struct OpStats
 {
     uint64_t aap = 0;            ///< AAP commands executed
@@ -43,6 +51,8 @@ struct OpStats
     uint64_t faultsInjected = 0; ///< total bits flipped by the model
     uint64_t rowReads = 0;       ///< host-level row reads
     uint64_t rowWrites = 0;      ///< host-level row writes
+    double fabricNs = 0.0;       ///< modeled serial fabric time
+    double fabricNj = 0.0;       ///< modeled fabric energy
 
     uint64_t commands() const { return aap + ap; }
 
@@ -61,6 +71,8 @@ struct OpStats
         faultsInjected += o.faultsInjected;
         rowReads += o.rowReads;
         rowWrites += o.rowWrites;
+        fabricNs += o.fabricNs;
+        fabricNj += o.fabricNj;
         return *this;
     }
 };

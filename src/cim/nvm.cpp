@@ -63,7 +63,19 @@ NvmMachine::writeRow(size_t r, const BitVector &v)
     C2M_ASSERT(r < rows_.size(), "row ", r, " out of range");
     C2M_ASSERT(v.size() == numCols_, "row width mismatch");
     ++stats_.rowWrites;
+    stats_.fabricNs += costs_.rowWriteNs;
+    stats_.fabricNj += costs_.rowWriteNj;
     rows_[r] = v;
+}
+
+const BitVector &
+NvmMachine::hostReadRow(size_t r)
+{
+    C2M_ASSERT(r < rows_.size(), "row ", r, " out of range");
+    ++stats_.rowReads;
+    stats_.fabricNs += costs_.rowReadNs;
+    stats_.fabricNj += costs_.rowReadNj;
+    return rows_[r];
 }
 
 BitVector
@@ -112,6 +124,8 @@ NvmMachine::execute(const NvmOp &op)
     }
 
     ++stats_.aap; // count every op as one array command
+    stats_.fabricNs += costs_.aapNs;
+    stats_.fabricNj += costs_.aapNj;
     if (is_logic) {
         ++stats_.tra;
         if (fault_.pMaj > 0.0)

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "cim/cost.hpp"
 #include "cim/fault.hpp"
 #include "common/bitvec.hpp"
 #include "common/rng.hpp"
@@ -109,11 +110,22 @@ class NvmMachine
     const BitVector &row(size_t r) const;
     void writeRow(size_t r, const BitVector &v);
 
+    /** Read a row through the charged host path (counts a rowRead). */
+    const BitVector &hostReadRow(size_t r);
+
     void execute(const NvmOp &op);
     void run(const NvmProgram &prog);
 
     OpStats &stats() { return stats_; }
     const OpStats &stats() const { return stats_; }
+
+    /**
+     * Install per-command fabric costs; every array op and host row
+     * access from here on charges OpStats::fabricNs/fabricNj.
+     * Defaults to all-zero (pure command counting).
+     */
+    void setCosts(const CommandCosts &c) { costs_ = c; }
+    const CommandCosts &costs() const { return costs_; }
 
   private:
     BitVector readRef(const NvmRef &ref) const;
@@ -123,6 +135,7 @@ class NvmMachine
     std::vector<BitVector> rows_;
     FaultModel fault_;
     OpStats stats_;
+    CommandCosts costs_;
     Rng rng_;
 };
 

@@ -161,11 +161,14 @@ class CountingBackend
     // ---- Fabric introspection and online-reliability hooks ----
 
     /**
-     * Command/fault tallies of the underlying fabric simulator
+     * Command/fault/cost tallies of the underlying fabric simulator
      * (AAP/AP, triple activations, injected fault bits, host row
-     * accesses). Substrates without such a tally return zeros.
+     * accesses, and the modeled fabricNs/fabricNj charged at each
+     * command issue point). Mandatory: every substrate must account
+     * for its work honestly — a backend that executed a nonzero op
+     * stream must report nonzero cost.
      */
-    virtual cim::OpStats opStats() const { return {}; }
+    virtual cim::OpStats opStats() const = 0;
 
     /**
      * Reliable (memory-controller) read of raw fabric row @p row,

@@ -2,6 +2,7 @@
 
 #include "common/logging.hpp"
 #include "core/backend_jc.hpp"
+#include "core/fabriccost.hpp"
 
 namespace c2m {
 namespace core {
@@ -30,6 +31,9 @@ AmbitBackend::AmbitBackend(const EngineConfig &cfg,
     caps_.tensorOps = true;
     caps_.pendingFlags = true;
     caps_.rowScrub = true;
+
+    sub_.setCosts(dramCommandCosts(cfg.dramTimings, cfg.dramEnergy,
+                                   cfg.numCounters));
 
     copts_.protect = cfg.protection == Protection::Ecc;
     copts_.frChecks = cfg.frChecks;

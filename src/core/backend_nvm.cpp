@@ -39,6 +39,8 @@ NvmBackend::NvmBackend(const EngineConfig &cfg,
     caps_.pendingFlags = true;
     caps_.rowScrub = true;
 
+    mach_.setCosts(cfg.nvmCost.commandCosts());
+
     for (const auto &l : layouts_)
         codegen_.emplace_back(l, tech_);
 }
@@ -46,8 +48,7 @@ NvmBackend::NvmBackend(const EngineConfig &cfg,
 const BitVector &
 NvmBackend::scrubReadRow(unsigned row)
 {
-    ++mach_.stats().rowReads;
-    return mach_.row(row);
+    return mach_.hostReadRow(row);
 }
 
 void

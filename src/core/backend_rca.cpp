@@ -1,6 +1,7 @@
 #include "core/backend_rca.hpp"
 
 #include "common/logging.hpp"
+#include "core/fabriccost.hpp"
 #include "dram/subarray.hpp"
 #include "jc/digits.hpp"
 
@@ -69,6 +70,9 @@ RcaBackend::RcaBackend(const EngineConfig &cfg,
 {
     caps_.eccChecks = true;
     caps_.signedCounting = true;
+
+    sub_.setCosts(dramCommandCosts(cfg.dramTimings, cfg.dramEnergy,
+                                   cfg.numCounters));
 
     digitWeight_.resize(numDigits_);
     uint64_t w = 1;

@@ -1,11 +1,18 @@
 #include "core/config.hpp"
 
+#include <cmath>
+
 namespace c2m {
 namespace core {
 
 CounterMap
 EngineStats::toCounters() const
 {
+    // Cost tallies are doubles internally; the counter exchange
+    // format is integral, so they round to whole ns/nJ here.
+    const auto ns = [](double v) {
+        return static_cast<uint64_t>(std::llround(v));
+    };
     return {
         {"engine.inputs_accumulated", inputsAccumulated},
         {"engine.increments", increments},
@@ -28,6 +35,9 @@ EngineStats::toCounters() const
         {"engine.fabric.faults_injected", fabric.faultsInjected},
         {"engine.fabric.row_reads", fabric.rowReads},
         {"engine.fabric.row_writes", fabric.rowWrites},
+        {"engine.fabric.ns", ns(fabric.fabricNs)},
+        {"engine.fabric.nj", ns(fabric.fabricNj)},
+        {"engine.fabric.critical_ns", ns(fabricCriticalNs)},
     };
 }
 

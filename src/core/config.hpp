@@ -16,8 +16,11 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "cim/cost.hpp"
 #include "cim/fault.hpp"
 #include "common/stats.hpp"
+#include "dram/energy.hpp"
+#include "dram/timing.hpp"
 
 namespace c2m {
 namespace core {
@@ -85,6 +88,16 @@ struct EngineConfig
      * per-op path automatically.
      */
     bool drainPlanner = true;
+    /**
+     * Fabric cost parameter sets (timing + energy). The DRAM-fabric
+     * backends (Ambit, Rca) charge per-command costs derived from
+     * dramTimings/dramEnergy (core/fabriccost.hpp); the NVM backends
+     * charge nvmCost. Every backend reports the result through
+     * opStats().fabricNs/fabricNj and EngineStats::fabric.
+     */
+    dram::DramTimings dramTimings = dram::DramTimings{};
+    dram::EnergyModel dramEnergy = dram::EnergyModel{};
+    cim::NvmCostParams nvmCost = cim::NvmCostParams{};
 };
 
 struct EngineStats
@@ -115,6 +128,16 @@ struct EngineStats
     cim::OpStats fabric;
 
     /**
+     * Bank-parallel critical-path fabric time: the modeled ns until
+     * the last shard finishes when shards execute as banks of one
+     * rank (bounded below by the tFAW/tRRD rank window,
+     * DramTimings::issueIntervalNs). For a single engine this equals
+     * fabric.fabricNs; ShardedEngine::stats() computes the real
+     * bound. Merged by max, not sum — parallel contributors overlap.
+     */
+    double fabricCriticalNs = 0.0;
+
+    /**
      * Field-wise sum, used to merge per-shard stats into one view.
      * When adding a field above, extend this too — the
      * EngineStatsMerge test pins sizeof(EngineStats) so a new field
@@ -138,6 +161,8 @@ struct EngineStats
         plannedOps += o.plannedOps;
         planFallbackOps += o.planFallbackOps;
         fabric += o.fabric;
+        if (o.fabricCriticalNs > fabricCriticalNs)
+            fabricCriticalNs = o.fabricCriticalNs;
         return *this;
     }
 

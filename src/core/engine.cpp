@@ -216,8 +216,7 @@ C2MEngine::accumulate(uint64_t value, unsigned mask_handle,
 
 void
 C2MEngine::accumulatePlan(std::span<const MaskedStep> steps,
-                          unsigned mask_handle, unsigned group,
-                          uint64_t folded_ops)
+                          unsigned group, uint64_t folded_ops)
 {
     C2M_ASSERT(group < cfg_.numGroups, "group out of range");
     C2M_ASSERT(cfg_.counting == CountMode::Kary,
@@ -246,7 +245,6 @@ C2MEngine::accumulatePlan(std::span<const MaskedStep> steps,
     C2M_ASSERT(worst.size() < backend_->numDigits(),
                "planned delta exceeds counter capacity");
 
-    const unsigned mask_row = maskRowIndex(mask_handle);
     const bool pending = backend_->caps().pendingFlags;
     auto &sched = schedulers_[group];
 
@@ -257,8 +255,9 @@ C2MEngine::accumulatePlan(std::span<const MaskedStep> steps,
     }
 
     for (const auto &s : steps) {
-        backend_->writeMask(mask_handle, *s.mask);
-        incrementDigit(group, s.digit, s.k, mask_row);
+        backend_->writeMask(s.maskHandle, *s.mask);
+        incrementDigit(group, s.digit, s.k,
+                       maskRowIndex(s.maskHandle));
         ++stats_.planPrograms;
     }
 

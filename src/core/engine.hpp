@@ -42,14 +42,19 @@ namespace core {
 
 /**
  * One column-parallel step of a drain plan: add @p k to digit
- * @p digit of every counter whose bit is set in @p mask. The mask is
- * borrowed, not owned — planners keep a reusable pool of plane masks
- * and hand out pointers for the duration of one accumulatePlan call.
+ * @p digit of every counter whose bit in mask row @p maskHandle is
+ * set. The mask is borrowed, not owned — planners keep a reusable
+ * pool of plane masks and hand out pointers for the duration of one
+ * accumulatePlan call. Each step carries its own mask handle so
+ * planes can live in persistent per-plane rows: plane (digit, k)
+ * always lands in the same row index, keeping its cached increment
+ * program's key stable across epochs.
  */
 struct MaskedStep
 {
     unsigned digit;
     unsigned k; ///< 1..radix-1
+    unsigned maskHandle;
     const BitVector *mask;
 };
 
@@ -71,6 +76,10 @@ class C2MEngine
     {
         EngineStats s = stats_;
         s.fabric = backend_->opStats();
+        // One engine = one bank: its critical path is its serial
+        // fabric time. ShardedEngine recomputes the bank-parallel
+        // bound over all shards.
+        s.fabricCriticalNs = s.fabric.fabricNs;
         return s;
     }
 
@@ -132,14 +141,14 @@ class C2MEngine
      *
      * Requirements (planners fall back to per-op replay otherwise):
      * Kary counting, group not in signed mode, each counter covered
-     * by at most one step per digit position. @p folded_ops is the
-     * number of point updates the plan folds in; it feeds
-     * inputsAccumulated/plannedOps so batch accounting matches the
-     * per-op path.
+     * by at most one step per digit position. Each step writes its
+     * plane mask into its own MaskedStep::maskHandle row.
+     * @p folded_ops is the number of point updates the plan folds
+     * in; it feeds inputsAccumulated/plannedOps so batch accounting
+     * matches the per-op path.
      */
     void accumulatePlan(std::span<const MaskedStep> steps,
-                        unsigned mask_handle, unsigned group,
-                        uint64_t folded_ops);
+                        unsigned group, uint64_t folded_ops);
 
     /**
      * True once the group has seen a decrement: pending flags are

@@ -1,0 +1,98 @@
+#ifndef C2M_CORE_FABRICCOST_HPP
+#define C2M_CORE_FABRICCOST_HPP
+
+/**
+ * @file
+ * Fabric accounting spine: one value type for "what did this cost in
+ * DRAM terms" that every layer produces, merges, and consumes.
+ *
+ * The substrates charge cim::OpStats at each command issue point
+ * (cim/cost.hpp); FabricCost is the roll-up the engines and the
+ * service report: simulated nanoseconds (serial and bank-parallel
+ * critical path), nanojoules, and the command counts the paper
+ * states its headline results in (Fig. 8). `ns` sums across shards
+ * (total fabric work); `criticalNs` is the wall-clock-equivalent
+ * lower bound when shards are banks of one rank, honoring the
+ * tFAW/tRRD model in dram/timing.hpp.
+ */
+
+#include <cstdint>
+
+#include "cim/cost.hpp"
+#include "cim/fault.hpp"
+#include "dram/energy.hpp"
+#include "dram/timing.hpp"
+
+namespace c2m {
+namespace core {
+
+struct FabricCost
+{
+    double ns = 0.0;         ///< serial fabric time, summed
+    double criticalNs = 0.0; ///< bank-parallel critical path
+    double nj = 0.0;
+    uint64_t aap = 0;
+    uint64_t ap = 0;
+    uint64_t tra = 0;
+    uint64_t rowAccesses = 0;
+
+    uint64_t commands() const { return aap + ap; }
+
+    static FabricCost fromOpStats(const cim::OpStats &s)
+    {
+        FabricCost c;
+        c.ns = s.fabricNs;
+        c.criticalNs = s.fabricNs;
+        c.nj = s.fabricNj;
+        c.aap = s.aap;
+        c.ap = s.ap;
+        c.tra = s.tra;
+        c.rowAccesses = s.rowReads + s.rowWrites;
+        return c;
+    }
+
+    /** Merge a parallel contributor: sums, except the critical path
+     *  which is the max over contributors. */
+    FabricCost &operator+=(const FabricCost &o)
+    {
+        ns += o.ns;
+        nj += o.nj;
+        aap += o.aap;
+        ap += o.ap;
+        tra += o.tra;
+        rowAccesses += o.rowAccesses;
+        if (o.criticalNs > criticalNs)
+            criticalNs = o.criticalNs;
+        return *this;
+    }
+};
+
+/**
+ * Per-command costs of a DRAM CIM substrate under the given timing
+ * and energy parameter sets. AAP and AP both occupy their bank for
+ * one bankPeriodNs (activation-dominated; the extra activate of the
+ * AAP hides under tRAS); host row accesses stream @p num_cols bits
+ * through the channel.
+ */
+inline cim::CommandCosts
+dramCommandCosts(const dram::DramTimings &t,
+                 const dram::EnergyModel &e, size_t num_cols)
+{
+    const unsigned row_bytes =
+        static_cast<unsigned>((num_cols + 7) / 8);
+    cim::CommandCosts c;
+    c.aapNs = t.bankPeriodNs();
+    c.apNs = t.bankPeriodNs();
+    c.rowReadNs = t.rowAccessNs(row_bytes);
+    c.rowWriteNs = t.rowAccessNs(row_bytes);
+    c.aapNj = e.aapEnergyNj();
+    c.apNj = e.apEnergyNj();
+    c.rowReadNj = e.rowAccessEnergyNj(row_bytes);
+    c.rowWriteNj = e.rowAccessEnergyNj(row_bytes);
+    return c;
+}
+
+} // namespace core
+} // namespace c2m
+
+#endif // C2M_CORE_FABRICCOST_HPP

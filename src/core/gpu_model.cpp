@@ -41,5 +41,21 @@ GpuModel::run(size_t M, size_t N, size_t K) const
     return r;
 }
 
+GpuModel::CountingCost
+GpuModel::countingRun(size_t num_ops, size_t num_counters) const
+{
+    // 8 B (index, value) read + 8 B counter read-modify-write per
+    // op; the counter table is touched through the same bandwidth
+    // budget, so table size only matters through a floor of one
+    // full-table write (initialization).
+    const double op_bytes = 16.0 * static_cast<double>(num_ops);
+    const double table_bytes = 8.0 * static_cast<double>(num_counters);
+    const double bytes = std::max(op_bytes, table_bytes);
+    CountingCost c;
+    c.ns = bytes / memBwGBs; // GB/s == B/ns
+    c.nj = gemvPowerW * c.ns; // 1 W == 1 nJ/ns
+    return c;
+}
+
 } // namespace core
 } // namespace c2m

@@ -46,6 +46,25 @@ struct GpuModel
      */
     Result run(size_t M, size_t N, size_t K) const;
 
+    /** A counting run on the GPU, on the fabric-cost axis. */
+    struct CountingCost
+    {
+        double ns = 0.0; ///< modeled kernel time
+        double nj = 0.0; ///< modeled kernel energy
+    };
+
+    /**
+     * Histogram-style counting of @p num_ops point updates into
+     * @p num_counters bins (Fig. 14 comparison axis). Atomic
+     * scatter-adds are memory-bandwidth bound: each op streams its
+     * (index, value) pair and read-modify-writes one counter word,
+     * so the model charges 16 B of DRAM traffic per op at GEMV
+     * power (1 W = 1 nJ/ns). Comparable with EngineStats
+     * fabric_ns/fabric_nj, see docs/perf.md.
+     */
+    CountingCost countingRun(size_t num_ops,
+                             size_t num_counters) const;
+
     static GpuModel rtx3090ti() { return GpuModel{}; }
 };
 

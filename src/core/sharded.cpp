@@ -5,6 +5,8 @@
 
 #include "common/logging.hpp"
 #include "common/rng.hpp"
+#include "core/costmodel.hpp"
+#include "jc/digits.hpp"
 
 namespace c2m {
 namespace core {
@@ -23,6 +25,55 @@ splitRanges(size_t total, unsigned shards)
     return starts;
 }
 
+/** RCA accumulator width (mirrors backend_rca's sizing rule). */
+unsigned
+rcaModelWidth(unsigned radix, unsigned num_digits)
+{
+    unsigned __int128 modulus = 1;
+    for (unsigned d = 0; d < num_digits; ++d)
+        modulus *= radix;
+    unsigned width = 1;
+    while (width < 64 &&
+           (static_cast<unsigned __int128>(1) << (width - 1)) <
+               modulus)
+        ++width;
+    return width;
+}
+
+/**
+ * Modeled ns of one masked k-ary increment per k, on this config's
+ * substrate: analytic command counts (C2mCostModel for the JC
+ * backends, RcaCostModel for the ripple-carry baseline — whose cost
+ * is k-independent) priced at the per-command latency of the fabric
+ * (DRAM bank period, or the NVM op latency).
+ */
+std::vector<double>
+planIncrementNs(const EngineConfig &cfg)
+{
+    const unsigned digits =
+        jc::digitsForCapacityBits(cfg.radix, cfg.capacityBits) + 1;
+    const bool nvm = cfg.backend == BackendKind::NvmPinatubo ||
+                     cfg.backend == BackendKind::NvmMagic;
+    const double cmd_ns =
+        nvm ? cfg.nvmCost.opNs : cfg.dramTimings.bankPeriodNs();
+    std::vector<double> inc(cfg.radix, 0.0);
+    if (cfg.backend == BackendKind::Rca) {
+        const RcaCostModel model(
+            rcaModelWidth(cfg.radix, digits),
+            cfg.protection == Protection::Ecc);
+        for (unsigned k = 1; k < cfg.radix; ++k)
+            inc[k] =
+                static_cast<double>(model.accumulateOps()) * cmd_ns;
+        return inc;
+    }
+    const C2mCostModel model(cfg.radix, cfg.capacityBits,
+                             cfg.protection == Protection::Ecc,
+                             cfg.frChecks, cfg.counting, cfg.ripple);
+    for (unsigned k = 1; k < cfg.radix; ++k)
+        inc[k] = static_cast<double>(model.incrementOps(k)) * cmd_ns;
+    return inc;
+}
+
 } // namespace
 
 ShardedEngine::ShardedEngine(const EngineConfig &cfg,
@@ -37,6 +88,25 @@ ShardedEngine::ShardedEngine(const EngineConfig &cfg,
     C2M_ASSERT(cfg.numCounters >= num_shards,
                "fewer counters than shards");
 
+    // Persistent plane-row pool: one spare mask row per (digit, k)
+    // plane so plan programs keep stable (op, digit, k, mask row)
+    // cache keys across epochs; deep-capacity overflow planes share
+    // kPlaneShared.
+    const bool planned =
+        cfg.drainPlanner && cfg.counting == CountMode::Kary;
+    if (planned) {
+        const unsigned digits =
+            jc::digitsForCapacityBits(cfg.radix, cfg.capacityBits) +
+            1;
+        planePool_ = std::min<unsigned>(digits * (cfg.radix - 1),
+                                        kMaxPlaneRows);
+        planIncNs_ = planIncrementNs(cfg);
+    }
+    reservedMasks_ = kPlaneBase + planePool_;
+
+    const bool nvm = cfg.backend == BackendKind::NvmPinatubo ||
+                     cfg.backend == BackendKind::NvmMagic;
+
     // Independent per-shard seeds split from the root seed.
     uint64_t seed_state = cfg.seed;
     scratch_.resize(num_shards);
@@ -44,15 +114,20 @@ ShardedEngine::ShardedEngine(const EngineConfig &cfg,
         EngineConfig scfg = cfg;
         scfg.numCounters = shardWidth(s);
         scfg.seed = splitMix64(seed_state);
-        // Handles kPointMask and kPlaneMask are reserved for routed
-        // point updates and the drain planner's digit-plane masks.
-        scfg.maxMaskRows = cfg.maxMaskRows + kReservedMasks;
+        // Handles [0, reservedMasks_) are internal: the routed point
+        // mask, the shared overflow plane row, and the persistent
+        // per-plane pool.
+        scfg.maxMaskRows = cfg.maxMaskRows + reservedMasks_;
         shards_.push_back(std::make_unique<C2MEngine>(scfg));
-        for (unsigned h = 0; h < kReservedMasks; ++h)
+        for (unsigned h = 0; h < reservedMasks_; ++h)
             shards_.back()->addMask(
                 std::vector<uint8_t>(shardWidth(s), 0));
         scratch_[s].pointMask = BitVector(shardWidth(s));
         scratch_[s].pointCol = std::numeric_limits<size_t>::max();
+        scratch_[s].maskWriteNs =
+            nvm ? cfg.nvmCost.rowAccessNs
+                : cfg.dramTimings.rowAccessNs(static_cast<unsigned>(
+                      (shardWidth(s) + 7) / 8));
     }
     shardBusy_ = std::make_unique<std::atomic<bool>[]>(num_shards);
 }
@@ -94,11 +169,11 @@ ShardedEngine::setMask(unsigned handle,
         for (size_t c = 0; c < slice.size() && lo + c < mask.size();
              ++c)
             slice[c] = mask[lo + c];
-        // Shard handles 0..kReservedMasks-1 are internal (point and
+        // Shard handles 0..reservedMasks_-1 are internal (point and
         // plane masks), so logical handle h lives at shard handle
-        // h + kReservedMasks.
-        if (handle + kReservedMasks < eng.numMasks())
-            eng.setMask(handle + kReservedMasks, slice);
+        // h + reservedMasks_.
+        if (handle + reservedMasks_ < eng.numMasks())
+            eng.setMask(handle + reservedMasks_, slice);
         else
             eng.addMask(slice);
     });
@@ -293,31 +368,50 @@ ShardedEngine::runGroupPlanned(unsigned s, uint32_t group,
     for (const uint32_t idx : sc.touched)
         sc.planeUsed[idx] = 0;
 
-    // The fallback replays the RAW ops, so the plan competes against
-    // their per-op digit cost (one program per nonzero digit of each
-    // original value), not against the cost of the sums: a hot key
-    // hit N times costs ~N programs per-op but shares one plane set
-    // once summed. Plan unless the planes cannot beat that (single
-    // ops, all-distinct tiny deltas).
-    uint64_t raw_programs = 0;
-    for (const auto &op : ops)
-        for (uint64_t v = static_cast<uint64_t>(op.value); v != 0;
-             v /= R)
-            raw_programs += (v % R) != 0;
-    if (over_capacity || sc.touched.size() >= raw_programs) {
+    // Cost both alternatives on the modeled fabric-time axis and
+    // keep the cheaper one (the write-combining trade is a cost
+    // comparison, not a program count). The fallback replays the RAW
+    // ops — one increment program per nonzero digit of each original
+    // value plus a point-mask rewrite per counter switch — so a hot
+    // key hit N times costs ~N program chains per-op but shares one
+    // plane set once summed. The plan pays one mask-row write plus
+    // one increment per touched plane.
+    double fallback_ns = 0.0;
+    {
+        size_t prev_col = std::numeric_limits<size_t>::max();
+        for (const auto &op : ops) {
+            const size_t col =
+                static_cast<size_t>(op.counter) - lo;
+            if (col != prev_col) {
+                fallback_ns += sc.maskWriteNs;
+                prev_col = col;
+            }
+            for (uint64_t v = static_cast<uint64_t>(op.value);
+                 v != 0; v /= R)
+                if (const unsigned k =
+                        static_cast<unsigned>(v % R))
+                    fallback_ns += planIncNs_[k];
+        }
+    }
+    double plan_ns = 0.0;
+    for (const uint32_t idx : sc.touched)
+        plan_ns += sc.maskWriteNs + planIncNs_[idx % (R - 1) + 1];
+    if (over_capacity || plan_ns >= fallback_ns) {
         eng.notePlanFallback(ops.size());
         runShardSerial(s, ops);
         return;
     }
 
-    // Deterministic plane order: ascending (digit, k).
+    // Deterministic plane order: ascending (digit, k). Each plane
+    // lands in its persistent mask row so its cached program key is
+    // stable across epochs.
     std::sort(sc.touched.begin(), sc.touched.end());
     sc.steps.clear();
     for (const uint32_t idx : sc.touched)
         sc.steps.push_back({static_cast<unsigned>(idx / (R - 1)),
                             static_cast<unsigned>(idx % (R - 1)) + 1,
-                            &sc.planes[idx]});
-    eng.accumulatePlan(sc.steps, kPlaneMask, group, ops.size());
+                            planeHandle(idx), &sc.planes[idx]});
+    eng.accumulatePlan(sc.steps, group, ops.size());
 }
 
 void
@@ -343,7 +437,7 @@ ShardedEngine::accumulate(uint64_t value, unsigned mask_handle,
     C2M_ASSERT(mask_handle < numMasks_, "unknown mask handle ",
                mask_handle);
     forEachShard([&](C2MEngine &eng, unsigned) {
-        eng.accumulate(value, mask_handle + kReservedMasks, group);
+        eng.accumulate(value, mask_handle + reservedMasks_, group);
     });
 }
 
@@ -354,7 +448,7 @@ ShardedEngine::accumulateSigned(int64_t value, unsigned mask_handle,
     C2M_ASSERT(mask_handle < numMasks_, "unknown mask handle ",
                mask_handle);
     forEachShard([&](C2MEngine &eng, unsigned) {
-        eng.accumulateSigned(value, mask_handle + kReservedMasks,
+        eng.accumulateSigned(value, mask_handle + reservedMasks_,
                              group);
     });
 }
@@ -414,6 +508,21 @@ ShardedEngine::stats() const
     EngineStats merged;
     for (const auto &s : shards_)
         merged += s->stats();
+    // fabric.fabricNs summed across shards is total fabric work;
+    // the critical path is when the last shard finishes. operator+=
+    // max-merged the per-shard serial times; DRAM shards additionally
+    // share one rank, where tRRD/tFAW bound the aggregate command
+    // issue rate no matter how many banks run (Sec. 7.2.1) — take
+    // the tighter of the two bounds. NVM crossbars are independent
+    // arrays with no rank window, so the per-shard max stands.
+    if (cfg_.backend == BackendKind::Ambit ||
+        cfg_.backend == BackendKind::Rca) {
+        const double rank_floor =
+            static_cast<double>(merged.fabric.commands()) *
+            cfg_.dramTimings.issueIntervalNs(numShards());
+        if (rank_floor > merged.fabricCriticalNs)
+            merged.fabricCriticalNs = rank_floor;
+    }
     return merged;
 }
 

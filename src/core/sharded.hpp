@@ -34,11 +34,13 @@
  * delta has digit k at position d. Each plane costs a single masked
  * karyIncrement, so a bucket of N ops executes in at most D*(R-1)
  * column-parallel fabric programs per group (Fig. 15) instead of N
- * whole-row program sequences. Plane masks live in a dedicated
- * reserved mask row, so cached increment programs replay across
- * epochs. Signed-mode groups, buckets containing negative deltas,
- * Unit counting, and buckets a plan cannot beat fall back to per-op
- * replay; either path yields bit-identical counter values.
+ * whole-row program sequences. Each plane lives in a persistent
+ * reserved mask row of its own, so cached increment programs keep
+ * stable keys and replay across epochs. Signed-mode groups, buckets
+ * containing negative deltas, Unit counting, and buckets whose
+ * modeled fabric cost (C2mCostModel command counts priced by
+ * DramTimings) does not beat per-op replay fall back to the serial
+ * path; either path yields bit-identical counter values.
  *
  * Results are bit-identical to a single C2MEngine over the full
  * counter space on the same op stream (columns are independent in the
@@ -165,10 +167,15 @@ class ShardedEngine
   private:
     /** Internal mask handle reserved per shard for point updates. */
     static constexpr unsigned kPointMask = 0;
-    /** Reserved handle for the planner's shared digit-plane masks. */
-    static constexpr unsigned kPlaneMask = 1;
-    /** Shard-internal handles reserved below the public ones. */
-    static constexpr unsigned kReservedMasks = 2;
+    /**
+     * Shared overflow row for digit planes beyond the persistent
+     * pool (deep-capacity configs only).
+     */
+    static constexpr unsigned kPlaneShared = 1;
+    /** First handle of the persistent per-plane mask rows. */
+    static constexpr unsigned kPlaneBase = 2;
+    /** Upper bound on the persistent plane-row pool per shard. */
+    static constexpr unsigned kMaxPlaneRows = 64;
 
     /**
      * Per-shard planner workspace. Reused across buckets so the
@@ -192,6 +199,8 @@ class ShardedEngine
         std::vector<std::pair<size_t, int64_t>> sums;
         /** Group partition of multi-group buckets (rare path). */
         std::vector<std::pair<uint32_t, std::vector<BatchOp>>> parts;
+        /** Modeled ns to rewrite one of this shard's mask rows. */
+        double maskWriteNs = 0.0;
     };
 
     void runShardBatch(unsigned s, std::span<const BatchOp> ops);
@@ -207,6 +216,14 @@ class ShardedEngine
     /** Run @p fn(shard) on every shard in parallel, then drain. */
     template <typename Fn> void forEachShard(Fn &&fn);
 
+    /** Persistent mask-row handle of plane index @p idx. */
+    unsigned planeHandle(size_t idx) const
+    {
+        return idx < planePool_
+                   ? kPlaneBase + static_cast<unsigned>(idx)
+                   : kPlaneShared;
+    }
+
     EngineConfig cfg_;
     std::vector<size_t> starts_; ///< numShards+1 range boundaries
     std::vector<std::unique_ptr<C2MEngine>> shards_;
@@ -214,6 +231,17 @@ class ShardedEngine
     /** Single-writer guard per shard for the stealing path. */
     std::unique_ptr<std::atomic<bool>[]> shardBusy_;
     unsigned numMasks_ = 0;
+    /** Shard-internal handles reserved below the public ones. */
+    unsigned reservedMasks_ = 0;
+    /** Persistent plane rows per shard (D*(R-1), capped). */
+    unsigned planePool_ = 0;
+    /**
+     * Modeled ns of one masked k-ary increment program, indexed by
+     * k (entry 0 unused): C2mCostModel command counts (RcaCostModel
+     * for the RCA backend) priced at the substrate's per-command ns.
+     * Drives the plan-vs-fallback decision in runGroupPlanned.
+     */
+    std::vector<double> planIncNs_;
     ThreadPool pool_;
 };
 

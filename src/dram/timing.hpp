@@ -40,6 +40,22 @@ struct DramTimings
     double bankPeriodNs() const { return tAapNs() + tRrdNs; }
 
     /**
+     * Steady-state AAP issue interval with @p banks banks active:
+     * round-robin hides the per-bank period until tRRD/tFAW become
+     * the rank-level bottleneck. Identical to the scheduler's
+     * AapScheduler::steadyPeriodNs (pinned by tests) — the engines
+     * use this to turn a shard's serial fabric time into the
+     * bank-parallel critical path.
+     */
+    double issueIntervalNs(unsigned banks) const
+    {
+        const double rank =
+            tRrdNs > tFawNs / 4.0 ? tRrdNs : tFawNs / 4.0;
+        const double bank = bankPeriodNs() / (banks ? banks : 1);
+        return bank > rank ? bank : rank;
+    }
+
+    /**
      * Time to stream a full rank row through the channel (RD or WR),
      * including activate and precharge.
      */

@@ -1,6 +1,7 @@
 #include "reliability/scrubber.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/logging.hpp"
 
@@ -35,6 +36,8 @@ ScrubStats::toCounters() const
         {"reliability.mirror_words_lost", mirrorWordsLost},
         {"reliability.ops_journaled", opsJournaled},
         {"reliability.fr_retunes", frRetunes},
+        {"reliability.sweep_fabric_ns",
+         static_cast<uint64_t>(std::llround(sweepFabricNs))},
     };
 }
 
@@ -174,6 +177,20 @@ Scrubber::sweepDue()
     if (cfg_.maxShardsPerBoundary &&
         due.size() > cfg_.maxShardsPerBoundary)
         due.resize(cfg_.maxShardsPerBoundary);
+    if (cfg_.maxSweepNsPerBoundary > 0.0 && due.size() > 1) {
+        // Fabric-time budget: admit shards while the predicted cost
+        // (each shard's last measured sweep ns; 0 before the first
+        // sweep) fits. The first due shard always sweeps.
+        double predicted = 0.0;
+        size_t keep = 0;
+        for (const unsigned s : due) {
+            predicted += shards_[s].lastSweepCostNs;
+            if (keep > 0 && predicted > cfg_.maxSweepNsPerBoundary)
+                break;
+            ++keep;
+        }
+        due.resize(keep);
+    }
     if (due.empty())
         return;
     rotate_ = (due.back() + 1) % n;
@@ -207,6 +224,7 @@ Scrubber::sweepShard(core::C2MEngine &eng, ShardState &st,
     const unsigned groups = engine_.config().numGroups;
     ScrubStats d;
     d.sweeps = 1;
+    const double ns0 = eng.backend().opStats().fabricNs;
 
     // Recover expected values: scrubbed mirror + journaled deltas;
     // then drain so fault-free state would be canonical.
@@ -271,6 +289,8 @@ Scrubber::sweepShard(core::C2MEngine &eng, ShardState &st,
     obs.boundaries =
         std::max<uint64_t>(1, boundary - st.lastSweepBoundary);
     st.lastSweepBoundary = boundary;
+    d.sweepFabricNs = eng.backend().opStats().fabricNs - ns0;
+    st.lastSweepCostNs = d.sweepFabricNs;
 
     std::lock_guard<std::mutex> lk(m_);
     st.stats += d;

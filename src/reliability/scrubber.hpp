@@ -74,6 +74,14 @@ struct ScrubConfig
     /** Budget: at most this many shard sweeps per boundary
      *  (0 = unlimited). Overdue shards rotate fairly. */
     unsigned maxShardsPerBoundary = 0;
+    /**
+     * Fabric-time budget: skip further due sweeps once the predicted
+     * cost of this boundary's sweeps (each shard's last measured
+     * fabric ns, see docs/perf.md) exceeds this (0 = unlimited). At
+     * least one due shard always sweeps, so overdue shards cannot
+     * starve; composes with maxShardsPerBoundary (tighter wins).
+     */
+    double maxSweepNsPerBoundary = 0.0;
     /** Run due sweeps in parallel on the engine's lane pool. */
     bool parallel = true;
     /** Let the HealthMonitor retune interval and FR checks. */
@@ -97,6 +105,8 @@ struct ScrubStats
     uint64_t mirrorWordsLost = 0; ///< side-store words past SEC-DED
     uint64_t opsJournaled = 0;    ///< deltas recorded since attach
     uint64_t frRetunes = 0;       ///< live FR-check changes applied
+    /** Modeled fabric ns spent inside sweeps (drain + row scrub). */
+    double sweepFabricNs = 0.0;
 
     ScrubStats &operator+=(const ScrubStats &o)
     {
@@ -111,6 +121,7 @@ struct ScrubStats
         mirrorWordsLost += o.mirrorWordsLost;
         opsJournaled += o.opsJournaled;
         frRetunes += o.frRetunes;
+        sweepFabricNs += o.sweepFabricNs;
         return *this;
     }
 
@@ -175,6 +186,9 @@ class Scrubber final : public service::EpochObserver
         std::unordered_map<uint64_t, int64_t> journal;
         uint64_t lastSweepBoundary = 0;
         uint64_t lastTra = 0; ///< fabric TRA count at last sweep
+        /** Measured fabric ns of this shard's last sweep — the
+         *  predictor for the maxSweepNsPerBoundary budget. */
+        double lastSweepCostNs = 0.0;
         ScrubStats stats;
         Rng decayRng{1};
     };

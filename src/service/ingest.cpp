@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 
 #include "common/logging.hpp"
 #include "service/coalesce.hpp"
@@ -25,12 +26,16 @@ ServiceStats::toCounters() const
         {"service.plan_programs", planPrograms},
         {"service.planned_ops", plannedOps},
         {"service.plan_fallback_ops", planFallbackOps},
+        {"service.fabric_ns",
+         static_cast<uint64_t>(std::llround(fabricNs))},
+        {"service.fabric_nj",
+         static_cast<uint64_t>(std::llround(fabricNj))},
     };
 }
 
 namespace {
 
-/** Attribute a drain's planner activity to this epoch's stats. */
+/** Attribute a drain's planner and fabric activity to this epoch. */
 void
 addPlanDelta(ServiceStats &es, const core::EngineStats &before,
              const core::EngineStats &after)
@@ -40,6 +45,8 @@ addPlanDelta(ServiceStats &es, const core::EngineStats &before,
     es.plannedOps += after.plannedOps - before.plannedOps;
     es.planFallbackOps +=
         after.planFallbackOps - before.planFallbackOps;
+    es.fabricNs += after.fabric.fabricNs - before.fabric.fabricNs;
+    es.fabricNj += after.fabric.fabricNj - before.fabric.fabricNj;
 }
 
 } // namespace
@@ -50,6 +57,8 @@ IngestService::IngestService(core::ShardedEngine &engine,
 {
     C2M_ASSERT(cfg_.queueCapacity >= 1,
                "queueCapacity must be >= 1");
+    dynamicMinDrainOps_.store(std::max<size_t>(1, cfg_.minDrainOps),
+                              std::memory_order_relaxed);
     lastShardEpoch_.assign(engine_.numShards(), 0);
     for (unsigned s = 0; s < engine_.numShards(); ++s)
         queues_.push_back(std::make_unique<BoundedOpQueue>(
@@ -113,7 +122,7 @@ IngestService::submit(std::span<const core::BatchOp> ops)
         queuedOps_.fetch_sub(ops.size() - accepted,
                              std::memory_order_relaxed);
     if (accepted > 0 && queuedOps_.load(std::memory_order_relaxed) >=
-                            cfg_.minDrainOps) {
+                            effectiveMinDrainOps()) {
         std::lock_guard<std::mutex> lk(m_);
         drainCv_.notify_one();
     }
@@ -310,7 +319,7 @@ IngestService::drainerLoop()
                 return stop_ || forceDrain_ ||
                        flushTarget_ > cutEpoch_ ||
                        queuedOps_.load(std::memory_order_relaxed) >=
-                           cfg_.minDrainOps;
+                           effectiveMinDrainOps();
             });
             const bool work_left =
                 flushTarget_ > cutEpoch_ ||
@@ -374,6 +383,30 @@ IngestService::runEpoch(uint64_t epoch)
         std::lock_guard<std::mutex> lk(m_);
         appliedEpoch_ = epoch;
         stats_ += es;
+        if (cfg_.targetEpochFabricNs > 0.0 && es.flushedOps > 0 &&
+            es.fabricNs > 0.0) {
+            // Fabric-time epoch sizing: fold this epoch's modeled
+            // per-op cost into the EWMA and retarget the coalescing
+            // window so the next epoch drains ~targetEpochFabricNs
+            // of fabric time. Capped at one queue's capacity so the
+            // window can always fill without producer stalls forcing
+            // the cut.
+            const double op_ns =
+                es.fabricNs / static_cast<double>(es.flushedOps);
+            ewmaOpNs_ = ewmaOpNs_ > 0.0
+                            ? 0.75 * ewmaOpNs_ + 0.25 * op_ns
+                            : op_ns;
+            double window = cfg_.targetEpochFabricNs / ewmaOpNs_;
+            if (window < 1.0)
+                window = 1.0;
+            const double cap =
+                static_cast<double>(cfg_.queueCapacity);
+            if (window > cap)
+                window = cap;
+            dynamicMinDrainOps_.store(
+                static_cast<size_t>(window),
+                std::memory_order_relaxed);
+        }
         recordDrainLatency(static_cast<uint64_t>(us));
         epochCv_.notify_all();
     }

@@ -75,6 +75,16 @@ struct IngestConfig
     bool coalesce = true;
     bool workStealing = true;
     Backpressure backpressure = Backpressure::Block;
+    /**
+     * Fabric-time epoch sizing: when > 0, the drainer adapts its
+     * coalescing window so one epoch executes about this much modeled
+     * fabric time (EngineStats fabric ns, see docs/perf.md). An EWMA
+     * of the observed per-op fabric cost converts the target into an
+     * op-count window after each epoch; minDrainOps seeds the window
+     * until the first sample lands. flush(), stop() and full queues
+     * still cut immediately.
+     */
+    double targetEpochFabricNs = 0.0;
 };
 
 struct ServiceStats
@@ -95,6 +105,12 @@ struct ServiceStats
     uint64_t planPrograms = 0; ///< masked plane increments issued
     uint64_t plannedOps = 0;   ///< ops folded into plans
     uint64_t planFallbackOps = 0; ///< ops replayed per-op instead
+    // Modeled fabric cost attributed to ingest epochs, sampled from
+    // the same per-epoch engine-stats delta as the plan counters —
+    // engine.fabric.* remains the engine-lifetime total, service
+    // fabric is the slice this service's epochs executed.
+    double fabricNs = 0.0; ///< simulated fabric time drained
+    double fabricNj = 0.0; ///< simulated fabric energy drained
 
     ServiceStats &operator+=(const ServiceStats &o)
     {
@@ -110,6 +126,8 @@ struct ServiceStats
         planPrograms += o.planPrograms;
         plannedOps += o.plannedOps;
         planFallbackOps += o.planFallbackOps;
+        fabricNs += o.fabricNs;
+        fabricNj += o.fabricNj;
         return *this;
     }
 
@@ -227,6 +245,14 @@ class IngestService
     void stop();
 
     ServiceStats serviceStats() const;
+    /**
+     * Current coalescing window in ops: minDrainOps, or the adapted
+     * window when targetEpochFabricNs is set.
+     */
+    size_t effectiveMinDrainOps() const
+    {
+        return dynamicMinDrainOps_.load(std::memory_order_relaxed);
+    }
     /** Engine stats, read race-free against the drainer. */
     core::EngineStats engineStats() const;
     /**
@@ -276,6 +302,10 @@ class IngestService
     bool stop_ = false;         ///< guarded by m_
     bool stopFinalized_ = false; ///< stop() ran once (guarded by m_)
     ServiceStats stats_;        ///< epoch-side sums (guarded by m_)
+    /** Coalescing window in ops; adapted by fabric-time sizing. */
+    std::atomic<size_t> dynamicMinDrainOps_{1};
+    /** EWMA of modeled fabric ns per flushed op (guarded by m_). */
+    double ewmaOpNs_ = 0.0;
 
     /** Ring of recent per-epoch drain latencies in us (guarded by m_). */
     static constexpr size_t kLatencyWindow = 4096;

@@ -383,12 +383,13 @@ TEST(Ingest, DrainLatencyPercentilesTrackEpochs)
 
 TEST(ServiceStatsCounters, SumsAndCoversEveryField)
 {
-    static_assert(sizeof(ServiceStats) == 12 * sizeof(uint64_t),
+    static_assert(sizeof(ServiceStats) == 14 * sizeof(uint64_t),
                   "ServiceStats changed; update operator+=, "
                   "toCounters and this test");
-    ServiceStats a{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12};
-    const ServiceStats b{10,  20,  30,  40,  50,  60,
-                         70,  80,  90,  100, 110, 120};
+    ServiceStats a{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12,
+                   13.0, 14.0};
+    const ServiceStats b{10,  20,  30,  40,  50,  60,  70,
+                         80,  90,  100, 110, 120, 130.0, 140.0};
     a += b;
     EXPECT_EQ(a.submitted, 11u);
     EXPECT_EQ(a.queued, 22u);
@@ -402,19 +403,25 @@ TEST(ServiceStatsCounters, SumsAndCoversEveryField)
     EXPECT_EQ(a.planPrograms, 110u);
     EXPECT_EQ(a.plannedOps, 121u);
     EXPECT_EQ(a.planFallbackOps, 132u);
-    EXPECT_EQ(a.toCounters().size(), 12u);
+    EXPECT_DOUBLE_EQ(a.fabricNs, 143.0);
+    EXPECT_DOUBLE_EQ(a.fabricNj, 154.0);
+    const auto m = a.toCounters();
+    EXPECT_EQ(m.size(), 14u);
+    EXPECT_EQ(m.at("service.fabric_ns"), 143u);
+    EXPECT_EQ(m.at("service.fabric_nj"), 154u);
 }
 
 TEST(EngineStatsCounters, CoversEveryField)
 {
-    static_assert(sizeof(EngineStats) == 21 * sizeof(uint64_t),
+    static_assert(sizeof(EngineStats) == 24 * sizeof(uint64_t),
                   "EngineStats changed; update toCounters and this "
                   "test");
     const EngineStats s{1,  2,  3,  4,  5,  6,  7, 8,
                         9,  10, 11, 12, 13, 14, 15,
-                        {16, 17, 18, 19, 20, 21}};
+                        {16, 17, 18, 19, 20, 21, 22.0, 23.0},
+                        24.0};
     const auto m = s.toCounters();
-    EXPECT_EQ(m.size(), 21u);
+    EXPECT_EQ(m.size(), 24u);
     EXPECT_EQ(m.at("engine.inputs_accumulated"), 1u);
     EXPECT_EQ(m.at("engine.program_cache_misses"), 11u);
     EXPECT_EQ(m.at("engine.plans_executed"), 12u);
@@ -424,6 +431,9 @@ TEST(EngineStatsCounters, CoversEveryField)
     EXPECT_EQ(m.at("engine.fabric.aap"), 16u);
     EXPECT_EQ(m.at("engine.fabric.faults_injected"), 19u);
     EXPECT_EQ(m.at("engine.fabric.row_writes"), 21u);
+    EXPECT_EQ(m.at("engine.fabric.ns"), 22u);
+    EXPECT_EQ(m.at("engine.fabric.nj"), 23u);
+    EXPECT_EQ(m.at("engine.fabric.critical_ns"), 24u);
 }
 
 TEST(CounterMaps, MergeSumsMatchingKeys)
