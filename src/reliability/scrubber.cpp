@@ -336,20 +336,36 @@ Scrubber::scrubAll()
 }
 
 void
+Scrubber::sweepNow(unsigned s)
+{
+    C2M_ASSERT(s < shards_.size(), "shard index out of range: ", s);
+    engine_.runShardTask(s, [this, s](core::C2MEngine &eng, size_t) {
+        sweepShard(eng, shards_[s], boundary_);
+    });
+}
+
+void
 Scrubber::rebase()
 {
-    const unsigned groups = engine_.config().numGroups;
     for (unsigned s = 0; s < engine_.numShards(); ++s)
-        engine_.runShardTask(
-            s, [this, s, groups](core::C2MEngine &eng, size_t) {
-                auto &st = shards_[s];
-                st.journal.clear();
-                for (unsigned g = 0; g < groups; ++g) {
-                    eng.drain(g);
-                    st.mirrors[g].encodeValues(eng.readCounters(g));
-                }
-                st.lastTra = eng.backend().opStats().tra;
-            });
+        rebaseShard(s);
+}
+
+void
+Scrubber::rebaseShard(unsigned s)
+{
+    C2M_ASSERT(s < shards_.size(), "shard index out of range: ", s);
+    const unsigned groups = engine_.config().numGroups;
+    engine_.runShardTask(
+        s, [this, s, groups](core::C2MEngine &eng, size_t) {
+            auto &st = shards_[s];
+            st.journal.clear();
+            for (unsigned g = 0; g < groups; ++g) {
+                eng.drain(g);
+                st.mirrors[g].encodeValues(eng.readCounters(g));
+            }
+            st.lastTra = eng.backend().opStats().tra;
+        });
 }
 
 ScrubStats

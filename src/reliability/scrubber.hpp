@@ -167,6 +167,23 @@ class Scrubber final : public service::EpochObserver
     void scrubAll();
 
     /**
+     * Sweep shard @p s now, regardless of cadence or budget. This is
+     * the virtualization layer's pre-write hook: before rewriting a
+     * shard's counter rows (spill/restore) it heals the shard and
+     * applies the pending journal, so the subsequent rebaseShard()
+     * cannot adopt faulty or stale state.
+     */
+    void sweepNow(unsigned s);
+
+    /**
+     * Per-shard rebase(): re-mirror shard @p s from the engine's
+     * current counter values, trusting the fabric, and discard the
+     * shard's pending journal entries. Required after row-level
+     * writes the journal cannot see (counter-group spill/restore).
+     */
+    void rebaseShard(unsigned s);
+
+    /**
      * Re-mirror from the engine's current counter values, trusting
      * the fabric. Required after ops the journal cannot see
      * (broadcast accumulates, tensor ops); discards pending journal

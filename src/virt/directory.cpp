@@ -1,0 +1,76 @@
+#include "virt/directory.hpp"
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+
+namespace c2m {
+namespace virt {
+
+KeyDirectory::KeyDirectory(uint64_t seed, size_t initial_capacity)
+    : seed_(seed)
+{
+    size_t cap = 16;
+    while (cap < initial_capacity)
+        cap <<= 1;
+    entries_.assign(cap, Entry{0, kNotFound});
+}
+
+size_t
+KeyDirectory::bucketOf(uint64_t key, size_t capacity) const
+{
+    uint64_t h = key ^ seed_;
+    return static_cast<size_t>(splitMix64(h) & (capacity - 1));
+}
+
+uint32_t
+KeyDirectory::find(uint64_t key) const
+{
+    const size_t cap = entries_.size();
+    size_t i = bucketOf(key, cap);
+    for (;;) {
+        const Entry &e = entries_[i];
+        if (e.slot == kNotFound)
+            return kNotFound;
+        if (e.key == key)
+            return e.slot;
+        ++probes_;
+        i = (i + 1) & (cap - 1);
+    }
+}
+
+void
+KeyDirectory::insert(uint64_t key, uint32_t slot)
+{
+    C2M_ASSERT(slot != kNotFound, "kNotFound is not a valid slot");
+    if (2 * (size_ + 1) > entries_.size())
+        grow();
+    const size_t cap = entries_.size();
+    size_t i = bucketOf(key, cap);
+    while (entries_[i].slot != kNotFound) {
+        C2M_ASSERT(entries_[i].key != key,
+                   "duplicate directory insert for key ", key);
+        ++probes_;
+        i = (i + 1) & (cap - 1);
+    }
+    entries_[i] = Entry{key, slot};
+    ++size_;
+}
+
+void
+KeyDirectory::grow()
+{
+    std::vector<Entry> old = std::move(entries_);
+    entries_.assign(old.size() * 2, Entry{0, kNotFound});
+    const size_t cap = entries_.size();
+    for (const Entry &e : old) {
+        if (e.slot == kNotFound)
+            continue;
+        size_t i = bucketOf(e.key, cap);
+        while (entries_[i].slot != kNotFound)
+            i = (i + 1) & (cap - 1);
+        entries_[i] = e;
+    }
+}
+
+} // namespace virt
+} // namespace c2m

@@ -1,0 +1,72 @@
+#ifndef C2M_VIRT_DIRECTORY_HPP
+#define C2M_VIRT_DIRECTORY_HPP
+
+/**
+ * @file
+ * Hashed key -> slot directory of the counter virtualization layer.
+ *
+ * Maps arbitrary 64-bit keys to virtual slot ids (group * groupSize +
+ * slot, assigned by VirtualCounterSpace). Open addressing with linear
+ * probing over a power-of-two table: each entry stores the full key,
+ * so hash collisions are resolved by probing, never by aliasing two
+ * keys onto one slot (pinned by the DirectoryCollision tests). Keys
+ * are only ever inserted — the exact tier never demotes — so there
+ * are no tombstones and lookups can stop at the first empty entry.
+ *
+ * The cumulative probe count is exported (virt.dir_probes) so skewed
+ * hash behaviour is visible in reports instead of silently degrading
+ * the submit path.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace c2m {
+namespace virt {
+
+class KeyDirectory
+{
+  public:
+    static constexpr uint32_t kNotFound = UINT32_MAX;
+
+    explicit KeyDirectory(uint64_t seed = 0x5eed5eedULL,
+                          size_t initial_capacity = 1024);
+
+    /** Slot id of @p key, or kNotFound. */
+    uint32_t find(uint64_t key) const;
+
+    /** Insert @p key -> @p slot; the key must not be present. */
+    void insert(uint64_t key, uint32_t slot);
+
+    size_t size() const { return size_; }
+    size_t capacity() const { return entries_.size(); }
+    /** Cumulative probe steps beyond the home bucket (collisions). */
+    uint64_t probes() const { return probes_; }
+
+    /** Initial probe bucket of @p key (exposed for collision tests). */
+    size_t homeBucket(uint64_t key) const
+    {
+        return bucketOf(key, entries_.size());
+    }
+
+  private:
+    struct Entry
+    {
+        uint64_t key;
+        uint32_t slot; ///< kNotFound marks an empty entry
+    };
+
+    size_t bucketOf(uint64_t key, size_t capacity) const;
+    void grow();
+
+    uint64_t seed_;
+    std::vector<Entry> entries_;
+    size_t size_ = 0;
+    mutable uint64_t probes_ = 0;
+};
+
+} // namespace virt
+} // namespace c2m
+
+#endif // C2M_VIRT_DIRECTORY_HPP

@@ -1,0 +1,515 @@
+/**
+ * @file
+ * Counter-virtualization tests: sketch-tier error bounds (count-min
+ * collision bound, Morris 3-sigma, linear distinct counting),
+ * directory collision handling, resident exactness across backends
+ * (vs serial replay of the recorded physical ops), bit-exact
+ * spill/restore under frame pressure, promotion invariants, service
+ * mode vs direct mode, concurrent producers, and scrubbed
+ * virtualized ingest under CIM fault injection ending bit-identical
+ * for every exact-tier key.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/sharded.hpp"
+#include "reliability/scrubber.hpp"
+#include "service/ingest.hpp"
+#include "virt/directory.hpp"
+#include "virt/sketch.hpp"
+#include "virt/virtspace.hpp"
+
+using namespace c2m;
+using namespace c2m::core;
+using c2m::virt::AddResult;
+using c2m::virt::CountMinSketch;
+using c2m::virt::KeyDirectory;
+using c2m::virt::LinearCounter;
+using c2m::virt::MorrisCounter;
+using c2m::virt::Route;
+using c2m::virt::SketchCells;
+using c2m::virt::SketchConfig;
+using c2m::virt::VirtConfig;
+using c2m::virt::VirtOp;
+using c2m::virt::VirtualCounterSpace;
+
+namespace {
+
+EngineConfig
+smallConfig(size_t counters, BackendKind backend = BackendKind::Ambit)
+{
+    EngineConfig cfg;
+    cfg.numCounters = counters;
+    cfg.capacityBits = 16;
+    cfg.backend = backend;
+    cfg.seed = 0xfeedULL;
+    return cfg;
+}
+
+/**
+ * Shadow reference for the exact tier: seed at promotion, then every
+ * later delta. A key's fabric value must equal its shadow exactly.
+ */
+struct Shadow
+{
+    std::map<uint64_t, int64_t> expect;
+
+    void apply(uint64_t key, int64_t value, const AddResult &r)
+    {
+        switch (r.route) {
+        case Route::Promoted:
+            expect[key] = static_cast<int64_t>(r.seed);
+            break;
+        case Route::Exact:
+        case Route::Journaled:
+            expect[key] += value;
+            break;
+        case Route::Sketch:
+            break;
+        }
+    }
+};
+
+void
+expectExactMatchesShadow(VirtualCounterSpace &space,
+                         const Shadow &shadow)
+{
+    const auto entries = space.exactEntries();
+    ASSERT_EQ(entries.size(), shadow.expect.size());
+    for (const auto &e : entries) {
+        const auto it = shadow.expect.find(e.key);
+        ASSERT_NE(it, shadow.expect.end()) << "key " << e.key;
+        EXPECT_EQ(e.value, it->second) << "key " << e.key;
+    }
+}
+
+uint64_t
+hashKey(uint64_t v)
+{
+    return splitMix64(v); // pure: v is a by-value copy of the state
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Sketch tier
+// ---------------------------------------------------------------------
+
+TEST(VirtSketch, MorrisUnbiasedWithin3Sigma)
+{
+    const double a = 1.0 / 16.0;
+    const uint64_t n = 1000;
+    const size_t trials = 300;
+    Rng rng(0x5eedULL);
+    const double sigma = MorrisCounter::sigma(a, double(n));
+    double sum = 0.0;
+    size_t within = 0;
+    for (size_t t = 0; t < trials; ++t) {
+        MorrisCounter mc(a);
+        mc.add(n, rng);
+        const double est = double(mc.estimate());
+        sum += est;
+        if (std::abs(est - double(n)) <= 3.0 * sigma)
+            ++within;
+    }
+    const double mean = sum / double(trials);
+    // Unbiased: the mean of 300 trials is within 5 standard errors.
+    EXPECT_NEAR(mean, double(n), 5.0 * sigma / std::sqrt(trials));
+    // Near-Gaussian: virtually all trials inside the 3-sigma band.
+    EXPECT_GE(double(within) / double(trials), 0.95);
+}
+
+TEST(VirtSketch, CountMinExactNeverUnderestimates)
+{
+    SketchConfig cfg;
+    cfg.width = 1 << 10; // small width: force collisions
+    cfg.depth = 4;
+    CountMinSketch sketch(cfg);
+    Rng rng(7);
+    std::map<uint64_t, uint64_t> truth;
+    for (size_t i = 0; i < 20000; ++i) {
+        const uint64_t key = rng.nextBounded(3000);
+        const uint64_t delta = 1 + rng.nextBounded(5);
+        truth[key] += delta;
+        sketch.update(key, delta);
+    }
+    size_t within = 0;
+    for (const auto &[key, count] : truth) {
+        const uint64_t est = sketch.estimate(key);
+        ASSERT_GE(est, count) << "count-min underestimated";
+        if (double(est - count) <= sketch.pointErrorBound(est))
+            ++within;
+    }
+    // (e/w)*N holds per query with prob >= 1 - e^-depth ~ 0.98.
+    EXPECT_GE(double(within) / double(truth.size()), 0.98);
+}
+
+TEST(VirtSketch, CountMinMorrisWithinAnalyticBound)
+{
+    SketchConfig cfg;
+    cfg.width = 1 << 12;
+    cfg.depth = 4;
+    cfg.cells = SketchCells::Morris;
+    cfg.morrisA = 1.0 / 16.0;
+    CountMinSketch sketch(cfg);
+    Rng rng(11);
+    std::map<uint64_t, uint64_t> truth;
+    for (size_t i = 0; i < 30000; ++i) {
+        const uint64_t key = rng.nextBounded(2000);
+        truth[key] += 1;
+        sketch.update(key, 1);
+    }
+    size_t within = 0;
+    for (const auto &[key, count] : truth) {
+        const uint64_t est = sketch.estimate(key);
+        const double err =
+            std::abs(double(est) - double(count));
+        if (err <= sketch.pointErrorBound(est))
+            ++within;
+    }
+    // Collision bound + 3-sigma Morris noise covers >= 97%.
+    EXPECT_GE(double(within) / double(truth.size()), 0.97);
+}
+
+TEST(VirtSketch, LinearCounterTracksDistinctKeys)
+{
+    LinearCounter lc(1 << 16, 42);
+    Rng rng(13);
+    std::vector<uint64_t> keys;
+    for (size_t i = 0; i < 20000; ++i)
+        keys.push_back(hashKey(i));
+    for (int rep = 0; rep < 3; ++rep) // duplicates must not count
+        for (const uint64_t k : keys)
+            lc.mark(k);
+    const double est = double(lc.estimate());
+    EXPECT_NEAR(est, double(keys.size()), 0.05 * double(keys.size()));
+}
+
+// ---------------------------------------------------------------------
+// Key directory
+// ---------------------------------------------------------------------
+
+TEST(VirtDirectory, CollidingKeysKeepDistinctSlots)
+{
+    KeyDirectory dir(0x5eedULL, 1); // min capacity: dense collisions
+    // Find keys sharing one home bucket at the initial capacity.
+    const size_t home = dir.homeBucket(1);
+    std::vector<uint64_t> colliders{1};
+    for (uint64_t k = 2; colliders.size() < 5; ++k)
+        if (dir.homeBucket(k) == home)
+            colliders.push_back(k);
+    for (uint32_t i = 0; i < colliders.size(); ++i)
+        dir.insert(colliders[i], 100 + i);
+    for (uint32_t i = 0; i < colliders.size(); ++i)
+        EXPECT_EQ(dir.find(colliders[i]), 100 + i);
+    EXPECT_GT(dir.probes(), 0u);
+}
+
+TEST(VirtDirectory, GrowsAndFindsEverything)
+{
+    KeyDirectory dir(99, 16);
+    const size_t n = 5000;
+    for (uint32_t i = 0; i < n; ++i)
+        dir.insert(hashKey(i) | 1, i);
+    EXPECT_GT(dir.capacity(), n); // grew past the initial 16
+    EXPECT_EQ(dir.size(), n);
+    for (uint32_t i = 0; i < n; ++i)
+        EXPECT_EQ(dir.find(hashKey(i) | 1), i);
+    EXPECT_EQ(dir.find(0xdead0000beefULL << 2),
+              KeyDirectory::kNotFound);
+}
+
+// ---------------------------------------------------------------------
+// Resident exact tier, all backends
+// ---------------------------------------------------------------------
+
+class VirtResident : public ::testing::TestWithParam<BackendKind>
+{
+};
+
+TEST_P(VirtResident, ValuesMatchShadowAndSerialReplay)
+{
+    const EngineConfig cfg = smallConfig(128, GetParam());
+    ShardedEngine engine(cfg, 2);
+    VirtConfig vcfg;
+    vcfg.groupSize = 16;
+    vcfg.promoteThreshold = 1; // promote every key on first sight
+    vcfg.recordPhysicalOps = true;
+    VirtualCounterSpace space(engine, vcfg);
+
+    Rng rng(21);
+    Shadow shadow;
+    std::vector<uint64_t> keys;
+    for (size_t i = 0; i < 40; ++i)
+        keys.push_back(hashKey(i + 1));
+    for (size_t i = 0; i < 4000; ++i) {
+        const uint64_t key = keys[rng.nextBounded(keys.size())];
+        const int64_t v = 1 + int64_t(rng.nextBounded(4));
+        shadow.apply(key, v, space.add(key, v));
+    }
+    space.flush();
+
+    ASSERT_EQ(space.stats().promotions, keys.size());
+    EXPECT_EQ(space.stats().spills, 0u); // fits: 8 frames, 3 groups
+    expectExactMatchesShadow(space, shadow);
+
+    // With no spills, the recorded physical op stream fully
+    // determines the fabric state: serial replay is bit-identical.
+    const auto replayed = replaySerial(cfg, space.physicalLog());
+    EXPECT_EQ(engine.readAllCounters(0), replayed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, VirtResident,
+                         ::testing::Values(BackendKind::Ambit,
+                                           BackendKind::NvmPinatubo,
+                                           BackendKind::NvmMagic,
+                                           BackendKind::Rca));
+
+// ---------------------------------------------------------------------
+// Spill / restore
+// ---------------------------------------------------------------------
+
+TEST(VirtSpill, RoundTripsAreBitExactUnderFramePressure)
+{
+    ShardedEngine engine(smallConfig(128), 2);
+    VirtConfig vcfg;
+    vcfg.groupSize = 16; // 8 frames
+    vcfg.promoteThreshold = 2;
+    vcfg.restoreOpThreshold = 4;
+    vcfg.directBatchOps = 64; // frequent maintenance
+    VirtualCounterSpace space(engine, vcfg);
+
+    Rng rng(31);
+    Shadow shadow;
+    const size_t distinct = 400; // ~25 groups over 8 frames
+    for (size_t i = 0; i < 30000; ++i) {
+        const uint64_t key = hashKey(rng.nextBounded(distinct));
+        const int64_t v = 1 + int64_t(rng.nextBounded(3));
+        shadow.apply(key, v, space.add(key, v));
+    }
+    space.flush();
+
+    const auto st = space.stats();
+    EXPECT_GT(st.promotions, 8u * 16u); // more keys than the fabric
+    EXPECT_GT(st.spills, 0u);
+    EXPECT_GT(st.restores, 0u);
+    EXPECT_GT(st.maintenanceFabricNs, 0.0);
+    expectExactMatchesShadow(space, shadow);
+}
+
+TEST(VirtSpill, NonScrubBackendStaysJournaledButExact)
+{
+    // RCA has no row-scrub seam: groups beyond the fabric can never
+    // spill a victim, so they stay journaled host-side — still exact.
+    ShardedEngine engine(smallConfig(64, BackendKind::Rca), 2);
+    VirtConfig vcfg;
+    vcfg.groupSize = 16; // 4 frames
+    vcfg.promoteThreshold = 1;
+    VirtualCounterSpace space(engine, vcfg);
+    ASSERT_FALSE(VirtualCounterSpace::supportsSpill(engine));
+
+    Rng rng(41);
+    Shadow shadow;
+    for (size_t i = 0; i < 5000; ++i) {
+        const uint64_t key = hashKey(rng.nextBounded(150));
+        shadow.apply(key, 1, space.add(key, 1));
+    }
+    space.flush();
+
+    const auto st = space.stats();
+    EXPECT_EQ(st.spills, 0u);
+    EXPECT_EQ(st.residentGroups, 4u); // every frame in use
+    EXPECT_GT(st.spilledGroups, 0u);  // the overflow stays host-side
+    expectExactMatchesShadow(space, shadow);
+}
+
+// ---------------------------------------------------------------------
+// Promotion invariants
+// ---------------------------------------------------------------------
+
+TEST(VirtPromotion, SeedEqualsEstimateAndValueTracksDeltas)
+{
+    ShardedEngine engine(smallConfig(64), 1);
+    VirtConfig vcfg;
+    vcfg.groupSize = 16;
+    vcfg.promoteThreshold = 10;
+    VirtualCounterSpace space(engine, vcfg);
+
+    const uint64_t key = 0xabcdef0123ULL;
+    for (int i = 0; i < 9; ++i) {
+        const AddResult r = space.add(key, 1);
+        EXPECT_EQ(r.route, Route::Sketch);
+        EXPECT_FALSE(space.isExact(key));
+    }
+    // With one key there are no sketch collisions: the estimate at
+    // promotion is the true count, carried verbatim as the seed.
+    EXPECT_EQ(space.approxEstimate(key), 9u);
+    const AddResult promo = space.add(key, 1);
+    EXPECT_EQ(promo.route, Route::Promoted);
+    EXPECT_EQ(promo.seed, 10u);
+    EXPECT_TRUE(space.isExact(key));
+    EXPECT_GE(space.errorBound(key), 0.0);
+
+    for (int i = 0; i < 7; ++i)
+        space.add(key, 3);
+    space.flush();
+    EXPECT_EQ(space.read(key), 10 + 7 * 3);
+
+    const auto top = space.topK(1);
+    ASSERT_EQ(top.size(), 1u);
+    EXPECT_EQ(top[0].key, key);
+    EXPECT_EQ(top[0].seed, 10u);
+    EXPECT_EQ(top[0].value, 31);
+}
+
+// ---------------------------------------------------------------------
+// Service mode
+// ---------------------------------------------------------------------
+
+TEST(VirtService, MatchesDirectModeOnTheSameStream)
+{
+    Rng rng(51);
+    std::vector<VirtOp> ops;
+    for (size_t i = 0; i < 20000; ++i)
+        ops.push_back(VirtOp{hashKey(rng.nextBounded(300)),
+                             1 + int64_t(rng.nextBounded(3))});
+
+    VirtConfig vcfg;
+    vcfg.groupSize = 16;
+    vcfg.promoteThreshold = 4;
+    vcfg.restoreOpThreshold = 8;
+
+    ShardedEngine direct_engine(smallConfig(128), 2);
+    VirtualCounterSpace direct(direct_engine, vcfg);
+    direct.addBatch(ops);
+    direct.flush();
+
+    ShardedEngine svc_engine(smallConfig(128), 2);
+    service::IngestService svc(svc_engine);
+    VirtualCounterSpace viaService(svc, vcfg);
+    viaService.addBatch(ops);
+    viaService.flush();
+    svc.stop();
+
+    auto a = direct.exactEntries();
+    auto b = viaService.exactEntries();
+    const auto byKey = [](const auto &x, const auto &y) {
+        return x.key < y.key;
+    };
+    std::sort(a.begin(), a.end(), byKey);
+    std::sort(b.begin(), b.end(), byKey);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].key, b[i].key);
+        EXPECT_EQ(a[i].value, b[i].value);
+        EXPECT_EQ(a[i].seed, b[i].seed);
+    }
+}
+
+TEST(VirtService, ConcurrentProducersStayShadowExact)
+{
+    ShardedEngine engine(smallConfig(256), 4);
+    service::IngestService svc(engine);
+    VirtConfig vcfg;
+    vcfg.groupSize = 16;
+    vcfg.promoteThreshold = 3;
+    VirtualCounterSpace space(svc, vcfg);
+
+    const unsigned producers = 4;
+    std::vector<Shadow> shadows(producers);
+    std::vector<std::thread> threads;
+    for (unsigned p = 0; p < producers; ++p)
+        threads.emplace_back([&, p] {
+            Rng rng(100 + p);
+            for (size_t i = 0; i < 5000; ++i) {
+                // Disjoint key ranges: each producer owns its keys,
+                // so per-producer shadows are exact references.
+                const uint64_t key =
+                    hashKey((uint64_t(p) << 32) |
+                               rng.nextBounded(200));
+                const int64_t v = 1 + int64_t(rng.nextBounded(2));
+                shadows[p].apply(key, v, space.add(key, v));
+            }
+        });
+    for (auto &t : threads)
+        t.join();
+    space.flush();
+    svc.stop();
+
+    Shadow merged;
+    for (const auto &s : shadows)
+        for (const auto &[k, v] : s.expect)
+            merged.expect[k] = v;
+    expectExactMatchesShadow(space, merged);
+}
+
+// ---------------------------------------------------------------------
+// Scrubbed virtualized ingest under fault injection
+// ---------------------------------------------------------------------
+
+TEST(VirtScrubbed, FaultyIngestEndsBitIdenticalForExactKeys)
+{
+    EngineConfig cfg = smallConfig(128);
+    cfg.protection = Protection::Ecc;
+    cfg.faultRate = 1e-3;
+    ShardedEngine engine(cfg, 2);
+    service::IngestService svc(engine);
+    reliability::Scrubber scrub(engine);
+    VirtConfig vcfg;
+    vcfg.groupSize = 16;
+    vcfg.promoteThreshold = 2;
+    vcfg.restoreOpThreshold = 8;
+    VirtualCounterSpace space(svc, vcfg);
+    space.attachScrubber(&scrub);
+
+    Rng rng(61);
+    Shadow shadow;
+    for (size_t i = 0; i < 20000; ++i) {
+        const uint64_t key = hashKey(rng.nextBounded(300));
+        const int64_t v = 1 + int64_t(rng.nextBounded(3));
+        shadow.apply(key, v, space.add(key, v));
+    }
+    space.flush();
+    svc.stop(); // final sweep reconciles every shard
+
+    const auto st = space.stats();
+    EXPECT_GT(st.spills, 0u);
+    EXPECT_GT(scrub.stats().sweeps, 0u);
+    expectExactMatchesShadow(space, shadow);
+}
+
+// ---------------------------------------------------------------------
+// Report spine
+// ---------------------------------------------------------------------
+
+TEST(VirtStatsReport, CountersCarryTheVirtKeys)
+{
+    ShardedEngine engine(smallConfig(64), 1);
+    VirtConfig vcfg;
+    vcfg.groupSize = 16;
+    vcfg.promoteThreshold = 2;
+    VirtualCounterSpace space(engine, vcfg);
+    Rng rng(71);
+    for (size_t i = 0; i < 3000; ++i)
+        space.add(hashKey(rng.nextBounded(500)), 1);
+    space.flush();
+
+    const CounterMap report = space.report();
+    for (const char *key :
+         {"virt.resident_groups", "virt.spills", "virt.restores",
+          "virt.promotions", "virt.sketch_keys",
+          "virt.est_error_bound", "virt.est_error_seed_max",
+          "virt.keys_exact", "virt.journaled_ops",
+          "virt.dir_probes", "virt.sketch_updates"})
+        EXPECT_TRUE(report.count(key)) << key;
+    EXPECT_GT(report.at("virt.promotions"), 0u);
+    EXPECT_GT(report.at("virt.sketch_keys"), 0u);
+    EXPECT_GT(report.at("virt.sketch_updates"), 0u);
+}
