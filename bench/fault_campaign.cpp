@@ -36,6 +36,8 @@
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "core/sharded.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "reliability/scrubber.hpp"
 #include "service/ingest.hpp"
 
@@ -75,6 +77,8 @@ struct Cell
     uint64_t wordsRecovered = 0;
     uint64_t faultsInjected = 0;
     double estRate = 0.0;
+    uint64_t traceEvents = 0;
+    uint64_t rssKb = 0;
     double overhead = 1.0; ///< wall time vs backend's clean baseline
 };
 
@@ -131,6 +135,8 @@ runCell(core::BackendKind backend, const Scheme &scheme, double rate,
 {
     Cell cell{core::backendName(backend), scheme.name, scheme.scrub,
               rate};
+    obs::TraceRecorder *tr = obs::tracer();
+    const uint64_t ev0 = tr ? tr->eventCount() : 0;
 
     const auto cfg =
         cellConfig(backend, scheme, rate, scale.counters, seed);
@@ -175,6 +181,8 @@ runCell(core::BackendKind backend, const Scheme &scheme, double rate,
         cell.sweepFabricNs = ss.sweepFabricNs;
         cell.estRate = scrub->health().estimatedFaultRate();
     }
+    cell.traceEvents = tr ? tr->eventCount() - ev0 : 0;
+    cell.rssKb = obs::hostRssKb();
     return cell;
 }
 
@@ -185,6 +193,7 @@ main(int argc, char **argv)
 {
     bool small = false;
     uint64_t seed = 12345;
+    const char *trace_path = nullptr;
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--trials=small"))
             small = true;
@@ -192,12 +201,18 @@ main(int argc, char **argv)
             small = false;
         else if (!std::strncmp(argv[i], "--seed=", 7))
             seed = std::strtoull(argv[i] + 7, nullptr, 10);
+        else if (!std::strcmp(argv[i], "--trace") && i + 1 < argc)
+            trace_path = argv[++i];
         else {
-            std::printf("usage: %s [--trials=small|full] [--seed=N]\n",
+            std::printf("usage: %s [--trials=small|full] [--seed=N] "
+                        "[--trace FILE]\n",
                         argv[0]);
             return 2;
         }
     }
+    obs::TraceRecorder recorder;
+    if (trace_path)
+        recorder.install();
 
     const CampaignScale scale =
         small ? CampaignScale{96, 2000, 4, 2, {1e-4, 1e-3, 1e-2}}
@@ -319,6 +334,7 @@ main(int argc, char **argv)
                 "\"faults_injected\": %llu, \"sweeps\": %llu, "
                 "\"faulty_bits\": %llu, \"bits_corrected\": %llu, "
                 "\"words_recovered\": %llu, "
+                "\"trace_events\": %llu, \"rss_kb\": %llu, "
                 "\"est_fault_rate\": %.3e}%s\n",
                 c.backend, c.protection, c.scrub ? "true" : "false",
                 c.rate, c.silentErrors,
@@ -332,11 +348,26 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(c.faultyBits),
                 static_cast<unsigned long long>(c.bitsCorrected),
                 static_cast<unsigned long long>(c.wordsRecovered),
+                static_cast<unsigned long long>(c.traceEvents),
+                static_cast<unsigned long long>(c.rssKb),
                 c.estRate, i + 1 < cells.size() ? "," : "");
         }
         std::fprintf(f, "  ]\n}\n");
         std::fclose(f);
         std::printf("wrote BENCH_reliability.json\n");
+    }
+
+    if (trace_path) {
+        recorder.uninstall();
+        if (obs::writeChromeTrace(recorder, trace_path))
+            std::printf(
+                "wrote %s (%llu events, %llu dropped)\n", trace_path,
+                static_cast<unsigned long long>(
+                    recorder.eventCount()),
+                static_cast<unsigned long long>(
+                    recorder.droppedEvents()));
+        else
+            std::printf("FAILED to write %s\n", trace_path);
     }
     return (gate_violations == 0 && all_fabric) ? 0 : 1;
 }

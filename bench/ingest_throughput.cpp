@@ -32,17 +32,33 @@
  * >= 2x, the planner cuts its fabric programs >= 5x, the multi-epoch
  * cell's cache hit rate is > 0.9, every cell reports nonzero fabric
  * ns and nj, and every cell matches the serial replay.
+ *
+ * Observability (docs/observability.md): `--trace FILE` installs an
+ * obs::TraceRecorder for the whole run and writes a Chrome/Perfetto
+ * trace at exit; `--metrics FILE` appends one JSON line per cell
+ * from an obs::MetricsRegistry snapshot of the cell's merged
+ * service/engine counters. A final showcase cell drives a
+ * VirtualCounterSpace with an attached Scrubber through an
+ * IngestService so the trace also carries scrub.sweep spans and
+ * virt.spill / virt.restore events.
+ *
+ * Usage: ingest_throughput [--trace FILE] [--metrics FILE]
  */
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "core/sharded.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "reliability/scrubber.hpp"
 #include "service/ingest.hpp"
+#include "virt/virtspace.hpp"
 
 using namespace c2m;
 using Clock = std::chrono::steady_clock;
@@ -51,6 +67,13 @@ namespace {
 
 constexpr size_t kNumCounters = 4096;
 constexpr size_t kNumOps = 4096;
+
+// --metrics plumbing: one registry for the run, one counter source
+// reading whatever the cell that just finished reported. The bench is
+// single-threaded between cells, so a plain global map suffices.
+obs::MetricsRegistry *g_metrics = nullptr;
+std::FILE *g_metricsFile = nullptr;
+CounterMap g_cellReport;
 
 double
 secondsSince(Clock::time_point t0)
@@ -129,6 +152,8 @@ struct Cell
     double fabricNj = 0.0;
     double fabricCriticalNs = 0.0;
     size_t minDrainOps = kNumOps;
+    uint64_t traceEvents = 0;
+    uint64_t rssKb = 0;
     bool match = false;
 };
 
@@ -140,6 +165,8 @@ runCell(const char *dist, const std::vector<core::BatchOp> &ops,
 {
     Cell cell{dist, shards, producers, coalesce, planner};
     cell.minDrainOps = min_drain_ops;
+    obs::TraceRecorder *tr = obs::tracer();
+    const uint64_t ev0 = tr ? tr->eventCount() : 0;
     core::ShardedEngine engine(engineConfig(planner), shards);
     service::IngestConfig icfg;
     icfg.coalesce = coalesce;
@@ -190,14 +217,139 @@ runCell(const char *dist, const std::vector<core::BatchOp> &ops,
     cell.fabricNs = est.fabric.fabricNs;
     cell.fabricNj = est.fabric.fabricNj;
     cell.fabricCriticalNs = est.fabricCriticalNs;
+    cell.traceEvents = tr ? tr->eventCount() - ev0 : 0;
+    cell.rssKb = obs::hostRssKb();
+
+    if (g_metrics && g_metricsFile) {
+        g_metrics->histogram("cell_time_us")
+            .record(static_cast<uint64_t>(cell.timeS * 1e6));
+        g_cellReport = svc.report();
+        const auto snap = g_metrics->snapshot();
+        const std::string line = g_metrics->renderJsonLine(snap);
+        std::fwrite(line.data(), 1, line.size(), g_metricsFile);
+    }
     return cell;
+}
+
+/** Summary of the virt + scrub observability showcase cell. */
+struct Showcase
+{
+    uint64_t promotions = 0;
+    uint64_t spills = 0;
+    uint64_t restores = 0;
+    uint64_t sweeps = 0;
+    uint64_t traceEvents = 0;
+};
+
+/**
+ * Observability showcase: a VirtualCounterSpace (service mode) with
+ * an attached Scrubber under ECC + CIM fault injection, driven with
+ * a skewed key stream over a tiny fabric so frame pressure forces
+ * promotions, spills and restores while the scrubber sweeps at
+ * epoch boundaries. Exists so a `--trace` run captures virt.spill /
+ * virt.restore spans and scrub.sweep spans alongside the ingest
+ * epochs — it contributes nothing to the exit gates.
+ */
+Showcase
+runObservabilityShowcase()
+{
+    obs::TraceRecorder *tr = obs::tracer();
+    const uint64_t ev0 = tr ? tr->eventCount() : 0;
+
+    core::EngineConfig cfg = engineConfig();
+    cfg.numCounters = 128;
+    cfg.protection = core::Protection::Ecc;
+    cfg.faultRate = 1e-3;
+    core::ShardedEngine engine(cfg, 4);
+    service::IngestService svc(engine);
+    reliability::Scrubber scrub(engine);
+    virt::VirtConfig vcfg;
+    vcfg.groupSize = 16;
+    vcfg.promoteThreshold = 2;
+    vcfg.restoreOpThreshold = 4;
+    virt::VirtualCounterSpace space(svc, vcfg);
+    space.attachScrubber(&scrub);
+
+    // Three phased hot windows (A, B, A): while one window is hot
+    // the other's groups fall quiet and become spill victims; when
+    // the first window re-heats, its journaled deltas cross the
+    // restore threshold and its images swap back in — so the trace
+    // carries virt.spill AND virt.restore spans.
+    Rng rng(61);
+    for (int phase = 0; phase < 3; ++phase) {
+        const uint64_t base = (phase % 2) ? 150 : 0;
+        for (size_t i = 0; i < 8000; ++i) {
+            uint64_t id = base + rng.nextBounded(150);
+            space.add(splitMix64(id),
+                      static_cast<int64_t>(1 + rng.nextBounded(3)));
+        }
+        space.flush();
+    }
+    svc.stop();
+
+    // One single-op batch per shard: a one-op group prices the plan
+    // at >= the per-op replay (one mask write + one increment each
+    // way), so the planner declines and the trace also carries
+    // plan.fallback instants.
+    core::ShardedEngine tiny(engineConfig(), 4);
+    for (unsigned s = 0; s < 4; ++s) {
+        const std::vector<core::BatchOp> one = {
+            {tiny.shardStart(s), 1, 0}};
+        tiny.accumulateBatch(one);
+    }
+
+    Showcase sc;
+    const auto st = space.stats();
+    sc.promotions = st.promotions;
+    sc.spills = st.spills;
+    sc.restores = st.restores;
+    sc.sweeps = scrub.stats().sweeps;
+    sc.traceEvents = tr ? tr->eventCount() - ev0 : 0;
+
+    if (g_metrics && g_metricsFile) {
+        g_cellReport = space.report();
+        const auto snap = g_metrics->snapshot();
+        const std::string line = g_metrics->renderJsonLine(snap);
+        std::fwrite(line.data(), 1, line.size(), g_metricsFile);
+    }
+    return sc;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const char *trace_path = nullptr;
+    const char *metrics_path = nullptr;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--trace") && i + 1 < argc)
+            trace_path = argv[++i];
+        else if (!std::strcmp(argv[i], "--metrics") && i + 1 < argc)
+            metrics_path = argv[++i];
+        else {
+            std::printf(
+                "usage: %s [--trace FILE] [--metrics FILE]\n",
+                argv[0]);
+            return 2;
+        }
+    }
+
+    obs::TraceRecorder recorder;
+    if (trace_path)
+        recorder.install();
+    obs::MetricsRegistry registry;
+    if (metrics_path) {
+        g_metricsFile = std::fopen(metrics_path, "w");
+        if (!g_metricsFile) {
+            std::printf("cannot open %s\n", metrics_path);
+            return 2;
+        }
+        g_metrics = &registry;
+        registry.addCounterSource("cell",
+                                  [] { return g_cellReport; });
+    }
+
     std::printf("async ingest throughput: %zu ops over %zu "
                 "counters, one-epoch coalescing window\n",
                 kNumOps, kNumCounters);
@@ -263,6 +415,17 @@ main()
         }
     }
 
+    // Showcase cell after the gated grid: scrub sweeps and virt
+    // spill/restore activity on the same recorder, so a --trace run
+    // shows every event family the tracer knows about.
+    const Showcase showcase = runObservabilityShowcase();
+    std::printf("showcase (virt+scrub over ingest): %llu promotions, "
+                "%llu spills, %llu restores, %llu sweeps\n",
+                static_cast<unsigned long long>(showcase.promotions),
+                static_cast<unsigned long long>(showcase.spills),
+                static_cast<unsigned long long>(showcase.restores),
+                static_cast<unsigned long long>(showcase.sweeps));
+
     TextTable t({"dist", "shards", "prod", "coalesce", "plan",
                  "time_s", "ops/s", "fabric_in", "programs",
                  "plan_progs", "fabric_us", "match"});
@@ -311,9 +474,20 @@ main()
                      "  \"plan_reduction\": %.3f,\n"
                      "  \"plan_cache_hit_rate\": %.4f,\n"
                      "  \"all_match_serial_replay\": %s,\n"
+                     "  \"showcase\": {\"promotions\": %llu, "
+                     "\"spills\": %llu, \"restores\": %llu, "
+                     "\"sweeps\": %llu, \"trace_events\": %llu},\n"
                      "  \"cells\": [\n",
                      kNumOps, kNumCounters, reduction, plan_reduction,
-                     cache_hit_rate, all_match ? "true" : "false");
+                     cache_hit_rate, all_match ? "true" : "false",
+                     static_cast<unsigned long long>(
+                         showcase.promotions),
+                     static_cast<unsigned long long>(showcase.spills),
+                     static_cast<unsigned long long>(
+                         showcase.restores),
+                     static_cast<unsigned long long>(showcase.sweeps),
+                     static_cast<unsigned long long>(
+                         showcase.traceEvents));
         for (size_t i = 0; i < cells.size(); ++i) {
             const auto &c = cells[i];
             std::fprintf(
@@ -333,6 +507,7 @@ main()
                 "\"min_drain_ops\": %zu, "
                 "\"fabric_ns\": %.1f, \"fabric_nj\": %.1f, "
                 "\"fabric_critical_ns\": %.1f, "
+                "\"trace_events\": %llu, \"rss_kb\": %llu, "
                 "\"match_reference\": %s}%s\n",
                 c.dist, c.shards, c.producers,
                 c.coalesce ? "true" : "false",
@@ -350,13 +525,38 @@ main()
                 static_cast<unsigned long long>(c.cacheHits),
                 static_cast<unsigned long long>(c.cacheMisses),
                 c.minDrainOps, c.fabricNs, c.fabricNj,
-                c.fabricCriticalNs, c.match ? "true" : "false",
+                c.fabricCriticalNs,
+                static_cast<unsigned long long>(c.traceEvents),
+                static_cast<unsigned long long>(c.rssKb),
+                c.match ? "true" : "false",
                 i + 1 < cells.size() ? "," : "");
         }
         std::fprintf(f, "  ]\n}\n");
         std::fclose(f);
         std::printf("wrote BENCH_ingest.json\n");
     }
+
+    if (g_metricsFile) {
+        std::fclose(g_metricsFile);
+        g_metricsFile = nullptr;
+        g_metrics = nullptr;
+        std::printf("wrote %s (%llu snapshots)\n", metrics_path,
+                    static_cast<unsigned long long>(
+                        registry.snapshotCount()));
+    }
+    if (trace_path) {
+        recorder.uninstall();
+        if (obs::writeChromeTrace(recorder, trace_path))
+            std::printf(
+                "wrote %s (%llu events, %llu dropped)\n", trace_path,
+                static_cast<unsigned long long>(
+                    recorder.eventCount()),
+                static_cast<unsigned long long>(
+                    recorder.droppedEvents()));
+        else
+            std::printf("FAILED to write %s\n", trace_path);
+    }
+
     return (reduction >= 2.0 && plan_reduction >= 5.0 &&
             cache_hit_rate > 0.9 && all_fabric && all_match)
                ? 0

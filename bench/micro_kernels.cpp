@@ -10,20 +10,30 @@
  * (copies, triple activations, MAJ3 fault injection, cached checked
  * programs). The probe is also the process exit gate: if the fabric
  * hot path ever regresses into allocating, this binary fails.
+ *
+ * Tracing overhead section: probeTracingOverhead() bounds the cost
+ * of obs/ instrumentation when tracing is compiled in but no
+ * recorder is installed (the default). It is the second exit gate:
+ * disabled tracing must cost <= 2% of the drained-batch hot path
+ * (docs/observability.md).
  */
 
 #include <benchmark/benchmark.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <new>
+#include <vector>
 
 #include "cim/ambit.hpp"
 #include "core/backend_ambit.hpp"
 #include "core/costmodel.hpp"
+#include "core/sharded.hpp"
 #include "dram/scheduler.hpp"
 #include "jc/layout.hpp"
+#include "obs/trace.hpp"
 #include "uprog/codegen_ambit.hpp"
 
 using namespace c2m;
@@ -183,6 +193,84 @@ probeFabricAllocFree()
     probe_one("fault-free", 0.0);
     probe_one("maj3-faults", 1e-3);
     return ok;
+}
+
+/**
+ * Bound the cost of compiled-in-but-disabled tracing on the drained
+ * batch path. With no recorder installed every instrumentation site
+ * is one relaxed atomic load plus a never-taken branch, so the
+ * disabled overhead is (sites hit per batch) x (cost per check).
+ * Both factors are measured, not assumed: the site count comes from
+ * installing a recorder once and counting emitted events (an
+ * overestimate — a span is a single tracer() check but two events),
+ * and the per-check cost from timing the check itself amplified over
+ * millions of iterations. The gate holds the product under 2% of the
+ * best-of-K batch time with tracing disabled.
+ */
+bool
+probeTracingOverhead()
+{
+    using Clock = std::chrono::steady_clock;
+    const auto seconds = [](Clock::time_point t0) {
+        return std::chrono::duration<double>(Clock::now() - t0)
+            .count();
+    };
+
+    core::EngineConfig cfg;
+    cfg.radix = 4;
+    cfg.capacityBits = 16;
+    cfg.numCounters = 8192;
+    cfg.maxMaskRows = 1;
+    cfg.drainPlanner = true;
+    core::ShardedEngine eng(cfg, 2);
+    Rng rng(23);
+    std::vector<core::BatchOp> ops;
+    ops.reserve(2000);
+    for (size_t i = 0; i < 2000; ++i)
+        ops.push_back({rng.nextBounded(cfg.numCounters),
+                       static_cast<int64_t>(1 + rng.nextBounded(7)),
+                       0});
+    eng.accumulateBatch(ops); // warm: masks, program cache, pool
+
+    obs::TraceRecorder rec;
+    rec.install();
+    const uint64_t ev0 = rec.eventCount();
+    eng.accumulateBatch(ops);
+    const uint64_t events = rec.eventCount() - ev0;
+    rec.uninstall();
+
+    double batch_s = 1e300;
+    for (int k = 0; k < 5; ++k) {
+        const auto t0 = Clock::now();
+        eng.accumulateBatch(ops);
+        batch_s = std::min(batch_s, seconds(t0));
+    }
+
+    const uint64_t checks = uint64_t{1} << 22;
+    double check_s = 1e300;
+    for (int k = 0; k < 5; ++k) {
+        const auto t0 = Clock::now();
+        uint64_t live = 0;
+        for (uint64_t i = 0; i < checks; ++i) {
+            obs::TraceRecorder *tr = obs::tracer();
+            if (tr)
+                ++live;
+        }
+        benchmark::DoNotOptimize(live);
+        check_s = std::min(check_s, seconds(t0));
+    }
+
+    const double per_check_ns =
+        check_s * 1e9 / static_cast<double>(checks);
+    const double overhead =
+        static_cast<double>(events) * per_check_ns /
+        (batch_s * 1e9);
+    std::printf("tracing-disabled overhead probe: %llu sites/batch x "
+                "%.3f ns/check = %.4f%% of %.0f us batch (%s)\n",
+                static_cast<unsigned long long>(events),
+                per_check_ns, 100.0 * overhead, batch_s * 1e6,
+                overhead <= 0.02 ? "ok" : "FAIL");
+    return overhead <= 0.02;
 }
 
 } // namespace
@@ -364,9 +452,12 @@ main(int argc, char **argv)
     if (benchmark::ReportUnrecognizedArguments(argc, argv))
         return 1;
     const bool alloc_free = probeFabricAllocFree();
+    const bool trace_cheap = probeTracingOverhead();
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     std::printf("fabric hot path allocation-free: %s\n",
                 alloc_free ? "yes" : "NO");
-    return alloc_free ? 0 : 1;
+    std::printf("tracing-disabled overhead <= 2%%: %s\n",
+                trace_cheap ? "yes" : "NO");
+    return (alloc_free && trace_cheap) ? 0 : 1;
 }

@@ -17,15 +17,23 @@
  * ns/nj plus the tFAW/tRRD-floored critical path, docs/perf.md), and
  * the JSON carries an analytical GPU baseline (GpuModel::countingRun)
  * costed on the same axis for the Fig. 14-style comparison.
+ *
+ * `--trace FILE` installs an obs::TraceRecorder for the run and
+ * writes a Chrome/Perfetto trace (per-shard drain spans, plan
+ * commit/fallback instants); `--metrics FILE` appends one metrics
+ * JSON line per row (docs/observability.md).
  */
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "core/gpu_model.hpp"
 #include "core/sharded.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 using namespace c2m;
 using Clock = std::chrono::steady_clock;
@@ -41,8 +49,38 @@ secondsSince(Clock::time_point t0)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const char *trace_path = nullptr;
+    const char *metrics_path = nullptr;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--trace") && i + 1 < argc)
+            trace_path = argv[++i];
+        else if (!std::strcmp(argv[i], "--metrics") && i + 1 < argc)
+            metrics_path = argv[++i];
+        else {
+            std::printf(
+                "usage: %s [--trace FILE] [--metrics FILE]\n",
+                argv[0]);
+            return 2;
+        }
+    }
+    obs::TraceRecorder recorder;
+    if (trace_path)
+        recorder.install();
+    obs::MetricsRegistry registry;
+    CounterMap row_report;
+    std::FILE *metrics_file = nullptr;
+    if (metrics_path) {
+        metrics_file = std::fopen(metrics_path, "w");
+        if (!metrics_file) {
+            std::printf("cannot open %s\n", metrics_path);
+            return 2;
+        }
+        registry.addCounterSource("row",
+                                  [&] { return row_report; });
+    }
+
     core::EngineConfig cfg;
     cfg.radix = 4;
     cfg.capacityBits = 16;
@@ -78,6 +116,8 @@ main()
         double fabricNs;
         double fabricNj;
         double fabricCriticalNs;
+        uint64_t traceEvents;
+        uint64_t rssKb;
         bool match;
     };
     std::vector<Row> rows;
@@ -101,6 +141,8 @@ main()
             // must attribute only the measured batch, not the
             // warm-up's per-op fallback activity.
             const auto st0 = eng.stats();
+            obs::TraceRecorder *tr = obs::tracer();
+            const uint64_t ev0 = tr ? tr->eventCount() : 0;
 
             const auto t0 = Clock::now();
             eng.accumulateBatch(ops);
@@ -129,8 +171,19 @@ main()
                             hit_frac,
                             st.fabric.fabricNs - st0.fabric.fabricNs,
                             st.fabric.fabricNj - st0.fabric.fabricNj,
-                            st.fabricCriticalNs, match});
+                            st.fabricCriticalNs,
+                            tr ? tr->eventCount() - ev0 : 0,
+                            obs::hostRssKb(), match});
             const auto &row = rows.back();
+            if (metrics_file) {
+                registry.histogram("row_time_us")
+                    .record(static_cast<uint64_t>(dt * 1e6));
+                row_report = st.toCounters();
+                const std::string line = registry.renderJsonLine(
+                    registry.snapshot());
+                std::fwrite(line.data(), 1, line.size(),
+                            metrics_file);
+            }
             t.addRow({planner ? "on" : "off", std::to_string(shards),
                       TextTable::fmt(dt, 3), TextTable::fmt(rate, 0),
                       TextTable::fmt(speedup, 2),
@@ -188,7 +241,8 @@ main()
                 "\"plan_fallback_ops\": %llu, "
                 "\"program_cache_hit_rate\": %.4f, "
                 "\"fabric_ns\": %.1f, \"fabric_nj\": %.1f, "
-                "\"fabric_critical_ns\": %.1f}%s\n",
+                "\"fabric_critical_ns\": %.1f, "
+                "\"trace_events\": %llu, \"rss_kb\": %llu}%s\n",
                 rows[i].planner ? "true" : "false", rows[i].shards,
                 rows[i].timeS, rows[i].opsPerS, rows[i].speedup,
                 static_cast<unsigned long long>(rows[i].increments),
@@ -198,10 +252,32 @@ main()
                     rows[i].planFallbackOps),
                 rows[i].cacheHitFrac, rows[i].fabricNs,
                 rows[i].fabricNj, rows[i].fabricCriticalNs,
+                static_cast<unsigned long long>(
+                    rows[i].traceEvents),
+                static_cast<unsigned long long>(rows[i].rssKb),
                 i + 1 < rows.size() ? "," : "");
         std::fprintf(f, "  ]\n}\n");
         std::fclose(f);
         std::printf("wrote BENCH_sharded.json\n");
+    }
+
+    if (metrics_file) {
+        std::fclose(metrics_file);
+        std::printf("wrote %s (%llu snapshots)\n", metrics_path,
+                    static_cast<unsigned long long>(
+                        registry.snapshotCount()));
+    }
+    if (trace_path) {
+        recorder.uninstall();
+        if (obs::writeChromeTrace(recorder, trace_path))
+            std::printf(
+                "wrote %s (%llu events, %llu dropped)\n", trace_path,
+                static_cast<unsigned long long>(
+                    recorder.eventCount()),
+                static_cast<unsigned long long>(
+                    recorder.droppedEvents()));
+        else
+            std::printf("FAILED to write %s\n", trace_path);
     }
     return (four_shard_ok && all_match && all_fabric) ? 0 : 1;
 }

@@ -46,6 +46,8 @@
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "core/sharded.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "virt/virtspace.hpp"
 
 using namespace c2m;
@@ -105,6 +107,8 @@ struct Cell
     double errBound = 0.0;
     size_t tailSampled = 0;
     double tailWithinFrac = 0.0;
+    uint64_t traceEvents = 0;
+    uint64_t rssKb = 0;
     bool shadowMatch = false;
     bool replayMatch = true; ///< only meaningful when checkReplay
 };
@@ -139,6 +143,8 @@ Cell
 runCell(const CellSpec &spec)
 {
     Cell cell{spec};
+    obs::TraceRecorder *tr = obs::tracer();
+    const uint64_t ev0 = tr ? tr->eventCount() : 0;
     core::EngineConfig cfg;
     cfg.numCounters = spec.physCounters;
     cfg.capacityBits = spec.capacityBits;
@@ -199,6 +205,8 @@ runCell(const CellSpec &spec)
     const auto est = engine.stats();
     cell.fabricNs = est.fabric.fabricNs;
     cell.fabricNj = est.fabric.fabricNj;
+    cell.traceEvents = tr ? tr->eventCount() - ev0 : 0;
+    cell.rssKb = obs::hostRssKb();
 
     // Exactness: every promoted key bit-identical to the serial
     // replay of its deltas.
@@ -246,8 +254,21 @@ int
 main(int argc, char **argv)
 {
     bool big = false;
-    for (int i = 1; i < argc; ++i)
-        big = big || std::strcmp(argv[i], "--big") == 0;
+    const char *trace_path = nullptr;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--big"))
+            big = true;
+        else if (!std::strcmp(argv[i], "--trace") && i + 1 < argc)
+            trace_path = argv[++i];
+        else {
+            std::printf("usage: %s [--big] [--trace FILE]\n",
+                        argv[0]);
+            return 2;
+        }
+    }
+    obs::TraceRecorder recorder;
+    if (trace_path)
+        recorder.install();
 
     std::printf("virtualized counter capacity: Zipf(1.1) key spaces "
                 "over a 4-shard fleet\n");
@@ -355,6 +376,7 @@ main(int argc, char **argv)
                 "\"est_error_bound\": %.3f, "
                 "\"tail_sampled\": %zu, "
                 "\"tail_within_bound_frac\": %.4f, "
+                "\"trace_events\": %llu, \"rss_kb\": %llu, "
                 "\"shadow_match\": %s, \"replay_match\": %s}%s\n",
                 c.spec.name, c.spec.distinctKeys, c.numOps,
                 c.spec.physCounters, c.spec.shards,
@@ -372,6 +394,8 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(c.sketchUpdates),
                 c.maintNs, c.fabricNs, c.fabricNj, c.errBound,
                 c.tailSampled, c.tailWithinFrac,
+                static_cast<unsigned long long>(c.traceEvents),
+                static_cast<unsigned long long>(c.rssKb),
                 c.shadowMatch ? "true" : "false",
                 c.replayMatch ? "true" : "false",
                 i + 1 < cells.size() ? "," : "");
@@ -379,6 +403,19 @@ main(int argc, char **argv)
         std::fprintf(f, "  ]\n}\n");
         std::fclose(f);
         std::printf("wrote BENCH_virt.json\n");
+    }
+
+    if (trace_path) {
+        recorder.uninstall();
+        if (obs::writeChromeTrace(recorder, trace_path))
+            std::printf(
+                "wrote %s (%llu events, %llu dropped)\n", trace_path,
+                static_cast<unsigned long long>(
+                    recorder.eventCount()),
+                static_cast<unsigned long long>(
+                    recorder.droppedEvents()));
+        else
+            std::printf("FAILED to write %s\n", trace_path);
     }
     return (all_shadow && replay_ok && pressure && all_tail &&
             all_fabric)

@@ -12,10 +12,53 @@
  * warn()/inform(): non-fatal status messages on stderr.
  */
 
+#include <cstdint>
 #include <sstream>
 #include <string>
 
 namespace c2m {
+
+/** Severity of a routed log message. */
+enum class LogLevel { Warn, Inform };
+
+/**
+ * Destination for C2M_WARN / C2M_INFORM messages.  The sink is invoked
+ * under the logging mutex (calls are serialized); it must not call back
+ * into the logging macros.  @p ctx is the pointer registered alongside
+ * the function.
+ */
+using LogSinkFn = void (*)(void *ctx, LogLevel lvl, const char *msg);
+
+/**
+ * Replace the process-wide log sink (nullptr restores the stderr
+ * default).  Thread-safe; intended for tests capturing output and for
+ * embedders redirecting into their own logging.
+ */
+void setLogSink(LogSinkFn fn, void *ctx);
+
+/**
+ * Secondary observer invoked (under the logging mutex) for every
+ * message that passes rate limiting, after the sink.  The trace
+ * recorder registers here so warnings appear as instant events on the
+ * timeline.  nullptr clears the hook.
+ */
+using LogTraceHookFn = void (*)(void *ctx, LogLevel lvl, const char *msg);
+void setLogTraceHook(LogTraceHookFn fn, void *ctx);
+
+/** Context pointer currently registered with setLogTraceHook. */
+void *logTraceHookCtx();
+
+/**
+ * Warnings with identical text are rate-limited: the first
+ * kLogRepeatHead occurrences pass, after that only every
+ * kLogRepeatStride-th passes (annotated with the repeat count).
+ * Informational messages are never rate-limited.
+ */
+inline constexpr uint64_t kLogRepeatHead = 8;
+inline constexpr uint64_t kLogRepeatStride = 128;
+
+/** Drop the per-message repeat counts (tests; long-lived services). */
+void resetLogRateLimiter();
 
 namespace detail {
 

@@ -21,13 +21,24 @@ namespace c2m {
  * statistics blocks of different subsystems (EngineStats,
  * service::ServiceStats): each exposes toCounters(), the maps are
  * merged field-wise and rendered as one report.
+ *
+ * Determinism contract: CounterMap is an ordered map, so iteration —
+ * and therefore renderCounters(), metric snapshot export, and bench
+ * JSON built from it — visits keys in lexicographic order. Two runs
+ * that produce the same counter values render byte-identical reports;
+ * diffs of metrics.jsonl / BENCH_*.json stay clean. Keep it this way:
+ * do not swap in an unordered container.
  */
 using CounterMap = std::map<std::string, uint64_t>;
 
 /** Field-wise sum of @p from into @p into (missing keys created). */
 CounterMap &mergeCounters(CounterMap &into, const CounterMap &from);
 
-/** Render as aligned "name  value" lines, one per counter. */
+/**
+ * Render as aligned "name  value" lines, one per counter, in the
+ * map's (lexicographic) key order — stable across runs for identical
+ * inputs.
+ */
 std::string renderCounters(const CounterMap &counters,
                            size_t indent = 2);
 

@@ -3,6 +3,7 @@
 #include "common/logging.hpp"
 #include "core/backend_jc.hpp"
 #include "core/fabriccost.hpp"
+#include "obs/trace.hpp"
 
 namespace c2m {
 namespace core {
@@ -67,6 +68,10 @@ AmbitBackend::setFrChecks(unsigned fr_checks)
     for (const auto &l : layouts_)
         codegen_.emplace_back(l, copts_);
     cache_.clear();
+    // An FR retune invalidates every memoized program: the next
+    // epoch's miss burst on the progcache.* counter track is this.
+    if (auto *tr = obs::tracer())
+        tr->instant("progcache.clear", obs::kServiceTrack, fr_checks);
     return true;
 }
 

@@ -1,12 +1,14 @@
 #include "core/sharded.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "common/logging.hpp"
 #include "common/rng.hpp"
 #include "core/costmodel.hpp"
 #include "jc/digits.hpp"
+#include "obs/trace.hpp"
 
 namespace c2m {
 namespace core {
@@ -192,7 +194,17 @@ ShardedEngine::runShardOps(unsigned s, std::span<const BatchOp> ops)
     C2M_ASSERT(!shardBusy_[s].exchange(true,
                                        std::memory_order_acquire),
                "concurrent writers on shard ", s);
+    // The drain span carries the shard's cumulative modeled fabric
+    // clock on both edges, so the fabric-clock track shows how much
+    // fabric time this bucket consumed.
+    obs::TraceRecorder *tr = obs::tracer();
+    if (tr)
+        tr->spanBegin("shard.drain", s,
+                      shards_[s]->stats().fabric.fabricNs);
     runShardBatch(s, ops);
+    if (tr)
+        tr->spanEnd("shard.drain", s,
+                    shards_[s]->stats().fabric.fabricNs);
     shardBusy_[s].store(false, std::memory_order_release);
 }
 
@@ -397,10 +409,21 @@ ShardedEngine::runGroupPlanned(unsigned s, uint32_t group,
     for (const uint32_t idx : sc.touched)
         plan_ns += sc.maskWriteNs + planIncNs_[idx % (R - 1) + 1];
     if (over_capacity || plan_ns >= fallback_ns) {
+        // The priced ns that justified the decision ride along:
+        // arg = plan price, arg2 = per-op replay price.
+        if (auto *t = obs::tracer())
+            t->instant("plan.fallback", s,
+                       static_cast<uint64_t>(std::llround(plan_ns)),
+                       static_cast<uint64_t>(
+                           std::llround(fallback_ns)));
         eng.notePlanFallback(ops.size());
         runShardSerial(s, ops);
         return;
     }
+    if (auto *t = obs::tracer())
+        t->instant("plan.commit", s,
+                   static_cast<uint64_t>(std::llround(plan_ns)),
+                   static_cast<uint64_t>(std::llround(fallback_ns)));
 
     // Deterministic plane order: ascending (digit, k). Each plane
     // lands in its persistent mask row so its cached program key is

@@ -1,0 +1,296 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <cstring>
+
+namespace c2m::obs {
+
+void
+LogHistogram::record(uint64_t value)
+{
+    buckets_[bucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    uint64_t seen = max_.load(std::memory_order_relaxed);
+    while (value > seen &&
+           !max_.compare_exchange_weak(seen, value,
+                                       std::memory_order_relaxed)) {
+    }
+}
+
+double
+LogHistogram::meanValue() const
+{
+    const uint64_t n = count();
+    return n == 0 ? 0.0
+                  : static_cast<double>(sum()) / static_cast<double>(n);
+}
+
+uint32_t
+LogHistogram::bucketIndex(uint64_t value)
+{
+    if (value < 4)
+        return static_cast<uint32_t>(value);
+    const uint32_t e = 63 - static_cast<uint32_t>(std::countl_zero(value));
+    const uint32_t sub =
+        static_cast<uint32_t>((value >> (e - 2)) - kSubBuckets);
+    return 4 + (e - 2) * kSubBuckets + sub;
+}
+
+uint64_t
+LogHistogram::bucketLo(uint32_t index)
+{
+    if (index < 4)
+        return index;
+    const uint32_t o = (index - 4) / kSubBuckets;   // octave - 2
+    const uint32_t sub = (index - 4) % kSubBuckets;
+    return static_cast<uint64_t>(kSubBuckets + sub) << o;
+}
+
+uint64_t
+LogHistogram::bucketHi(uint32_t index)
+{
+    if (index < 4)
+        return index + 1;
+    const uint32_t o = (index - 4) / kSubBuckets;
+    const uint64_t lo = bucketLo(index);
+    const uint64_t hi = lo + (static_cast<uint64_t>(1) << o);
+    return hi > lo ? hi : UINT64_MAX;  // top bucket saturates
+}
+
+uint64_t
+LogHistogram::percentile(double q) const
+{
+    const uint64_t n = count();
+    if (n == 0)
+        return 0;
+    q = std::min(1.0, std::max(0.0, q));
+    // Same rank convention as the exact-sort percentile this replaced.
+    uint64_t rank = static_cast<uint64_t>(
+        q * static_cast<double>(n - 1) + 0.5);
+    if (rank >= n)
+        rank = n - 1;
+    uint64_t cum = 0;
+    for (uint32_t i = 0; i < kBucketCount; ++i) {
+        cum += bucketCount(i);
+        if (cum > rank) {
+            // Upper edge of the rank's bucket, clamped to the observed
+            // max. The saturated top bucket's hi is already inclusive.
+            const uint64_t hi = bucketHi(i);
+            const uint64_t edge = hi == UINT64_MAX ? hi : hi - 1;
+            return std::min(edge, max());
+        }
+    }
+    return max();
+}
+
+void
+LogHistogram::clear()
+{
+    for (auto &b : buckets_)
+        b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+}
+
+LogHistogram &
+MetricsRegistry::histogram(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(m_);
+    auto &slot = hists_[name];
+    if (!slot)
+        slot = std::make_unique<LogHistogram>();
+    return *slot;
+}
+
+void
+MetricsRegistry::addCounterSource(std::string name,
+                                  std::function<CounterMap()> source)
+{
+    std::lock_guard<std::mutex> lock(m_);
+    sources_.emplace_back(std::move(name), std::move(source));
+}
+
+MetricsRegistry::Snapshot
+MetricsRegistry::snapshot()
+{
+    // Pull sources outside the registry lock: a source may itself take
+    // subsystem locks (e.g. IngestService::report), and holding m_
+    // across them invites lock-order cycles.
+    std::vector<std::pair<std::string, std::function<CounterMap()>>> srcs;
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        srcs = sources_;
+    }
+    CounterMap total;
+    for (const auto &[name, fn] : srcs) {
+        CounterMap part = fn();
+        if (name.empty()) {
+            mergeCounters(total, part);
+        } else {
+            for (const auto &[k, v] : part)
+                total[name + "." + k] += v;
+        }
+    }
+
+    std::lock_guard<std::mutex> lock(m_);
+    Snapshot snap;
+    snap.seq = seq_++;
+    snap.total = total;
+    for (const auto &[k, v] : total) {
+        const auto it = prevTotal_.find(k);
+        const uint64_t prev = it == prevTotal_.end() ? 0 : it->second;
+        snap.delta[k] = v >= prev ? v - prev : v;
+    }
+    prevTotal_ = std::move(total);
+    return snap;
+}
+
+uint64_t
+MetricsRegistry::snapshotCount() const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    return seq_;
+}
+
+namespace {
+
+void
+appendJsonKey(std::string &out, const std::string &key)
+{
+    out += '"';
+    for (char c : key) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    out += '"';
+}
+
+void
+appendCounterObject(std::string &out, const CounterMap &m)
+{
+    out += '{';
+    bool first = true;
+    for (const auto &[k, v] : m) {
+        if (!first)
+            out += ',';
+        first = false;
+        appendJsonKey(out, k);
+        out += ':';
+        out += std::to_string(v);
+    }
+    out += '}';
+}
+
+std::string
+sanitizeMetricName(const std::string &name)
+{
+    std::string out;
+    out.reserve(name.size());
+    for (char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_' || c == ':';
+        out += ok ? c : '_';
+    }
+    if (out.empty() || (out[0] >= '0' && out[0] <= '9'))
+        out.insert(out.begin(), '_');
+    return out;
+}
+
+}  // namespace
+
+std::string
+MetricsRegistry::renderJsonLine(const Snapshot &snap) const
+{
+    std::string out = "{\"seq\":" + std::to_string(snap.seq);
+    out += ",\"counters\":";
+    appendCounterObject(out, snap.total);
+    out += ",\"deltas\":";
+    appendCounterObject(out, snap.delta);
+    out += ",\"histograms\":{";
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        bool first = true;
+        for (const auto &[name, h] : hists_) {
+            if (!first)
+                out += ',';
+            first = false;
+            appendJsonKey(out, name);
+            char buf[192];
+            std::snprintf(
+                buf, sizeof(buf),
+                ":{\"count\":%llu,\"mean\":%.3f,\"p50\":%llu,"
+                "\"p95\":%llu,\"p99\":%llu,\"max\":%llu}",
+                static_cast<unsigned long long>(h->count()),
+                h->meanValue(),
+                static_cast<unsigned long long>(h->percentile(0.50)),
+                static_cast<unsigned long long>(h->percentile(0.95)),
+                static_cast<unsigned long long>(h->percentile(0.99)),
+                static_cast<unsigned long long>(h->max()));
+            out += buf;
+        }
+    }
+    out += "}}\n";
+    return out;
+}
+
+std::string
+MetricsRegistry::renderPrometheus(const Snapshot &snap) const
+{
+    std::string out;
+    for (const auto &[k, v] : snap.total) {
+        const std::string name = sanitizeMetricName(k);
+        out += "# TYPE " + name + " counter\n";
+        out += name + " " + std::to_string(v) + "\n";
+    }
+    std::lock_guard<std::mutex> lock(m_);
+    for (const auto &[rawName, h] : hists_) {
+        const std::string name = sanitizeMetricName(rawName);
+        out += "# TYPE " + name + " histogram\n";
+        uint64_t cum = 0;
+        for (uint32_t i = 0; i < LogHistogram::kBucketCount; ++i) {
+            const uint64_t c = h->bucketCount(i);
+            if (c == 0)
+                continue;
+            cum += c;
+            out += name + "_bucket{le=\"" +
+                   std::to_string(LogHistogram::bucketHi(i)) + "\"} " +
+                   std::to_string(cum) + "\n";
+        }
+        out += name + "_bucket{le=\"+Inf\"} " +
+               std::to_string(h->count()) + "\n";
+        out += name + "_sum " + std::to_string(h->sum()) + "\n";
+        out += name + "_count " + std::to_string(h->count()) + "\n";
+    }
+    return out;
+}
+
+uint64_t
+hostRssKb()
+{
+#ifdef __linux__
+    std::FILE *f = std::fopen("/proc/self/status", "r");
+    if (!f)
+        return 0;
+    char line[256];
+    uint64_t kb = 0;
+    while (std::fgets(line, sizeof(line), f)) {
+        if (std::strncmp(line, "VmRSS:", 6) == 0) {
+            unsigned long long v = 0;
+            if (std::sscanf(line + 6, "%llu", &v) == 1)
+                kb = v;
+            break;
+        }
+    }
+    std::fclose(f);
+    return kb;
+#else
+    return 0;
+#endif
+}
+
+}  // namespace c2m::obs

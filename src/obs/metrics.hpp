@@ -1,0 +1,142 @@
+#ifndef C2M_OBS_METRICS_HPP
+#define C2M_OBS_METRICS_HPP
+
+// Metrics registry: log-bucketed concurrent histograms plus periodic
+// CounterMap snapshot diffing, exported as JSON lines or
+// Prometheus-text.  LogHistogram replaces the bespoke DrainLatency
+// ring in service::IngestService with a general-purpose distribution
+// that any subsystem can feed.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace c2m::obs {
+
+/**
+ * Fixed-footprint log-bucketed histogram of uint64 samples with
+ * lock-free concurrent recording.
+ *
+ * Buckets: values 0..3 are exact; above that each octave [2^e, 2^(e+1))
+ * splits into 4 sub-buckets, so any bucket's width is at most 1/4 of
+ * its lower bound (quantiles are accurate to ~25% relative error, and
+ * exact below 4).  All 2^64 values map to one of kBucketCount buckets;
+ * recording is two relaxed fetch_adds plus a CAS max.
+ */
+class LogHistogram {
+public:
+    // 4 exact buckets + 4 sub-buckets per octave for octaves 2..63.
+    static constexpr uint32_t kSubBuckets = 4;
+    static constexpr uint32_t kBucketCount = 4 + 62 * kSubBuckets;
+
+    LogHistogram() = default;
+
+    // Thread-safe, allocation-free.
+    void record(uint64_t value);
+
+    uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+    uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+    uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+    double meanValue() const;
+
+    /**
+     * Quantile estimate, q in [0, 1].  Uses the same rank convention as
+     * the exact-sort percentile it replaced (rank = floor(q*(n-1)+0.5))
+     * and returns the upper edge of the rank's bucket clamped to the
+     * observed max — monotone in q, never exceeds max(), and within one
+     * bucket width above the exact order statistic.
+     */
+    uint64_t percentile(double q) const;
+
+    // Reset every cell to zero (not atomic with concurrent writers).
+    void clear();
+
+    static uint32_t bucketIndex(uint64_t value);
+    // Inclusive lower / exclusive upper value edges of bucket i.
+    static uint64_t bucketLo(uint32_t index);
+    static uint64_t bucketHi(uint32_t index);
+
+    uint64_t bucketCount(uint32_t index) const {
+        return buckets_[index].load(std::memory_order_relaxed);
+    }
+
+private:
+    std::atomic<uint64_t> buckets_[kBucketCount] = {};
+    std::atomic<uint64_t> count_{0};
+    std::atomic<uint64_t> sum_{0};
+    std::atomic<uint64_t> max_{0};
+};
+
+/**
+ * Names histograms and counter sources, snapshots them on demand, and
+ * renders the snapshots as JSON lines (one object per snapshot, for
+ * metrics.jsonl files) or Prometheus text exposition.
+ *
+ * Counter sources are pull-based: register a callable returning the
+ * subsystem's current CounterMap (e.g. [&]{ return svc.report(); });
+ * snapshot() diffs against the previous snapshot so every emitted object
+ * carries both running totals and per-interval deltas.
+ */
+class MetricsRegistry {
+public:
+    MetricsRegistry() = default;
+    MetricsRegistry(const MetricsRegistry &) = delete;
+    MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+    /** Find-or-create a named histogram; the registry owns it. */
+    LogHistogram &histogram(const std::string &name);
+
+    /** Register a pull source merged into every snapshot. */
+    void addCounterSource(std::string name,
+                          std::function<CounterMap()> source);
+
+    struct Snapshot {
+        uint64_t seq = 0;
+        CounterMap total;   // merged counters from all sources
+        CounterMap delta;   // total minus previous snapshot's total
+    };
+
+    /** Pull all sources, diff against the previous snapshot. */
+    Snapshot snapshot();
+
+    /** Snapshots taken so far. */
+    uint64_t snapshotCount() const;
+
+    /**
+     * One JSON object (single line, newline-terminated) for a snapshot:
+     * {"seq":N,"counters":{...},"deltas":{...},"histograms":{name:
+     * {"count":..,"mean":..,"p50":..,"p95":..,"p99":..,"max":..}}}.
+     * Key order is deterministic (CounterMap is sorted; histogram names
+     * are emitted sorted).
+     */
+    std::string renderJsonLine(const Snapshot &snap) const;
+
+    /**
+     * Prometheus text exposition of a snapshot: counters as counters,
+     * histograms as <name>_bucket{le="..."} / _sum / _count series.
+     * Metric names are sanitized to [a-zA-Z0-9_:].
+     */
+    std::string renderPrometheus(const Snapshot &snap) const;
+
+private:
+    mutable std::mutex m_;
+    std::map<std::string, std::unique_ptr<LogHistogram>> hists_;
+    std::vector<std::pair<std::string, std::function<CounterMap()>>>
+        sources_;
+    CounterMap prevTotal_;
+    uint64_t seq_ = 0;
+};
+
+/** Resident-set size of this process in KiB (0 if unavailable). */
+uint64_t hostRssKb();
+
+}  // namespace c2m::obs
+
+#endif  // C2M_OBS_METRICS_HPP

@@ -1,0 +1,359 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <memory>
+
+#include "common/logging.hpp"
+
+namespace c2m::obs {
+
+namespace detail {
+std::atomic<TraceRecorder *> g_tracer{nullptr};
+}  // namespace detail
+
+namespace {
+
+std::atomic<uint64_t> g_generation{0};
+
+// Logging hook: warnings / informs that pass rate limiting show up as
+// instant events on the service track.  The message text itself stays
+// with the sink; the timeline records that (and when) it fired.
+void
+logHook(void *ctx, LogLevel lvl, const char *)
+{
+    auto *tr = static_cast<TraceRecorder *>(ctx);
+    tr->instant(lvl == LogLevel::Warn ? "log.warn" : "log.inform",
+                kServiceTrack);
+}
+
+}  // namespace
+
+// One writer lane: a preallocated ring plus a monotonically increasing
+// cursor.  Padded so lanes on adjacent indices do not false-share.
+struct alignas(64) TraceRecorder::Lane {
+    std::unique_ptr<TraceEvent[]> ring;
+    std::atomic<uint64_t> cursor{0};
+};
+
+TraceRecorder::TraceRecorder(TraceConfig cfg)
+    : cfg_(cfg),
+      epoch_(std::chrono::steady_clock::now()),
+      generation_(g_generation.fetch_add(1, std::memory_order_relaxed) + 1)
+{
+    if (cfg_.lanes == 0)
+        cfg_.lanes = 1;
+    if (cfg_.capacityPerLane == 0)
+        cfg_.capacityPerLane = 1;
+    lanes_ = std::vector<Lane>(cfg_.lanes);
+    for (auto &ln : lanes_)
+        ln.ring = std::make_unique<TraceEvent[]>(cfg_.capacityPerLane);
+}
+
+TraceRecorder::~TraceRecorder()
+{
+    uninstall();
+}
+
+void
+TraceRecorder::install()
+{
+    detail::g_tracer.store(this, std::memory_order_release);
+    setLogTraceHook(&logHook, this);
+}
+
+void
+TraceRecorder::uninstall()
+{
+    TraceRecorder *expected = this;
+    detail::g_tracer.compare_exchange_strong(expected, nullptr,
+                                             std::memory_order_acq_rel);
+    if (logTraceHookCtx() == this)
+        setLogTraceHook(nullptr, nullptr);
+}
+
+uint32_t
+TraceRecorder::laneForThisThread()
+{
+    // Lane choice is sticky per (thread, recorder): the generation tag
+    // invalidates the cached lane when a new recorder is constructed.
+    thread_local uint64_t cachedGen = 0;
+    thread_local uint32_t cachedLane = 0;
+    if (cachedGen != generation_) {
+        cachedGen = generation_;
+        cachedLane = nextLane_.fetch_add(1, std::memory_order_relaxed) %
+                     cfg_.lanes;
+    }
+    return cachedLane;
+}
+
+void
+TraceRecorder::record(const TraceEvent &ev)
+{
+    Lane &ln = lanes_[laneForThisThread()];
+    const uint64_t slot = ln.cursor.fetch_add(1, std::memory_order_relaxed);
+    ln.ring[slot % cfg_.capacityPerLane] = ev;
+}
+
+uint64_t
+TraceRecorder::eventCount() const
+{
+    uint64_t n = 0;
+    for (const auto &ln : lanes_)
+        n += ln.cursor.load(std::memory_order_relaxed);
+    return n;
+}
+
+uint64_t
+TraceRecorder::droppedEvents() const
+{
+    uint64_t n = 0;
+    for (const auto &ln : lanes_) {
+        const uint64_t c = ln.cursor.load(std::memory_order_relaxed);
+        if (c > cfg_.capacityPerLane)
+            n += c - cfg_.capacityPerLane;
+    }
+    return n;
+}
+
+std::vector<TraceEvent>
+TraceRecorder::laneSnapshot(uint32_t lane) const
+{
+    std::vector<TraceEvent> out;
+    if (lane >= cfg_.lanes)
+        return out;
+    const Lane &ln = lanes_[lane];
+    const uint64_t cur = ln.cursor.load(std::memory_order_acquire);
+    const uint64_t cap = cfg_.capacityPerLane;
+    const uint64_t n = std::min(cur, cap);
+    out.reserve(n);
+    // Oldest retained slot first.
+    const uint64_t start = cur - n;
+    for (uint64_t i = 0; i < n; ++i)
+        out.push_back(ln.ring[(start + i) % cap]);
+    return out;
+}
+
+namespace {
+
+// One serialized Chrome event, pre-JSON: sortable by (ts, seq) so
+// begins stay ahead of the ends/children they enclose.
+struct ChromeEvent {
+    double tsUs;
+    uint64_t seq;
+    std::string json;
+};
+
+void
+appendEscaped(std::string &out, const char *s)
+{
+    for (; *s; ++s) {
+        const char c = *s;
+        if (c == '"' || c == '\\') {
+            out += '\\';
+            out += c;
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+        } else {
+            out += c;
+        }
+    }
+}
+
+uint32_t
+hostPid(uint32_t track)
+{
+    return track == kServiceTrack ? 0 : track + 1;
+}
+
+constexpr uint32_t kFabricPidOffset = 1000;
+
+void
+pushEvent(std::vector<ChromeEvent> &out, uint64_t &seq, const char *ph,
+          const char *name, uint32_t pid, uint32_t tid, double tsUs,
+          uint64_t arg, uint64_t arg2, EventKind kind)
+{
+    std::string j = "{\"ph\":\"";
+    j += ph;
+    j += "\",\"name\":\"";
+    appendEscaped(j, name);
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "\",\"pid\":%u,\"tid\":%u,\"ts\":%.3f", pid, tid, tsUs);
+    j += buf;
+    if (kind == EventKind::Counter) {
+        std::snprintf(buf, sizeof(buf),
+                      ",\"args\":{\"value\":%llu}",
+                      static_cast<unsigned long long>(arg));
+        j += buf;
+    } else if (kind == EventKind::Instant) {
+        j += ",\"s\":\"t\"";
+        if (arg != 0 || arg2 != 0) {
+            std::snprintf(buf, sizeof(buf),
+                          ",\"args\":{\"arg\":%llu,\"arg2\":%llu}",
+                          static_cast<unsigned long long>(arg),
+                          static_cast<unsigned long long>(arg2));
+            j += buf;
+        }
+    }
+    j += "}";
+    out.push_back({tsUs, seq++, std::move(j)});
+}
+
+void
+pushMeta(std::vector<ChromeEvent> &out, uint64_t &seq, uint32_t pid,
+         const std::string &processName)
+{
+    std::string j =
+        "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" +
+        std::to_string(pid) + ",\"tid\":0,\"args\":{\"name\":\"";
+    appendEscaped(j, processName.c_str());
+    j += "\"}}";
+    out.push_back({-1.0, seq++, std::move(j)});
+}
+
+std::string
+trackLabel(uint32_t pid)
+{
+    const bool fabric = pid >= kFabricPidOffset;
+    const uint32_t host = fabric ? pid - kFabricPidOffset : pid;
+    std::string base =
+        host == 0 ? std::string("service")
+                  : "shard " + std::to_string(host - 1);
+    return base + (fabric ? " (fabric clock)" : " (host clock)");
+}
+
+}  // namespace
+
+std::string
+exportChromeTrace(const TraceRecorder &rec)
+{
+    std::vector<ChromeEvent> events;
+    uint64_t seq = 0;
+    std::vector<uint32_t> pidsSeen;
+    auto notePid = [&](uint32_t pid) {
+        if (std::find(pidsSeen.begin(), pidsSeen.end(), pid) ==
+            pidsSeen.end())
+            pidsSeen.push_back(pid);
+    };
+
+    for (uint32_t lane = 0; lane < rec.config().lanes; ++lane) {
+        const auto evs = rec.laneSnapshot(lane);
+        const uint32_t tid = lane + 1;
+
+        // Per-track span stacks for this lane: pairs each SpanEnd with
+        // its matching SpanBegin, drops orphan ends from ring wrap, and
+        // closes trailing begins at the lane's last timestamp.
+        struct Open { TraceEvent ev; };
+        std::map<uint32_t, std::vector<Open>> open;
+        int64_t lastHostNs = 0;
+
+        for (const TraceEvent &ev : evs) {
+            lastHostNs = std::max(lastHostNs, ev.hostNs);
+            const uint32_t pid = hostPid(ev.track);
+            const double tsUs = static_cast<double>(ev.hostNs) / 1000.0;
+            switch (ev.kind) {
+            case EventKind::SpanBegin:
+                open[ev.track].push_back({ev});
+                break;
+            case EventKind::SpanEnd: {
+                auto &stack = open[ev.track];
+                if (stack.empty())
+                    break;  // orphan end: begin lost to ring wrap
+                const TraceEvent &b = stack.back().ev;
+                notePid(pid);
+                pushEvent(events, seq, "B", b.name, pid, tid,
+                          static_cast<double>(b.hostNs) / 1000.0, 0, 0,
+                          EventKind::SpanBegin);
+                pushEvent(events, seq, "E", b.name, pid, tid, tsUs, 0, 0,
+                          EventKind::SpanEnd);
+                if (b.fabricNs > 0 && ev.fabricNs >= b.fabricNs) {
+                    const uint32_t fpid = pid + kFabricPidOffset;
+                    notePid(fpid);
+                    pushEvent(events, seq, "B", b.name, fpid, tid,
+                              b.fabricNs / 1000.0, 0, 0,
+                              EventKind::SpanBegin);
+                    pushEvent(events, seq, "E", b.name, fpid, tid,
+                              ev.fabricNs / 1000.0, 0, 0,
+                              EventKind::SpanEnd);
+                }
+                stack.pop_back();
+                break;
+            }
+            case EventKind::Instant:
+            case EventKind::Counter: {
+                const char *ph =
+                    ev.kind == EventKind::Counter ? "C" : "i";
+                notePid(pid);
+                pushEvent(events, seq, ph, ev.name, pid, tid, tsUs,
+                          ev.arg, ev.arg2, ev.kind);
+                if (ev.fabricNs > 0) {
+                    const uint32_t fpid = pid + kFabricPidOffset;
+                    notePid(fpid);
+                    pushEvent(events, seq, ph, ev.name, fpid, tid,
+                              ev.fabricNs / 1000.0, ev.arg, ev.arg2,
+                              ev.kind);
+                }
+                break;
+            }
+            }
+        }
+        // Unclosed begins (recorder stopped mid-span): synthesize an
+        // end at the lane's final host timestamp so the span renders.
+        for (auto &[track, stack] : open) {
+            const uint32_t pid = hostPid(track);
+            for (const Open &o : stack) {
+                notePid(pid);
+                pushEvent(events, seq, "B", o.ev.name, pid, tid,
+                          static_cast<double>(o.ev.hostNs) / 1000.0, 0,
+                          0, EventKind::SpanBegin);
+                pushEvent(events, seq, "E", o.ev.name, pid, tid,
+                          static_cast<double>(lastHostNs) / 1000.0, 0,
+                          0, EventKind::SpanEnd);
+            }
+        }
+    }
+
+    std::sort(pidsSeen.begin(), pidsSeen.end());
+    for (uint32_t pid : pidsSeen)
+        pushMeta(events, seq, pid, trackLabel(pid));
+
+    // Stable order: metadata first (ts -1), then by timestamp with the
+    // record sequence breaking ties so begins precede their children.
+    std::stable_sort(events.begin(), events.end(),
+                     [](const ChromeEvent &a, const ChromeEvent &b) {
+                         if (a.tsUs != b.tsUs)
+                             return a.tsUs < b.tsUs;
+                         return a.seq < b.seq;
+                     });
+
+    std::string out = "{\"traceEvents\":[\n";
+    for (size_t i = 0; i < events.size(); ++i) {
+        out += events[i].json;
+        if (i + 1 < events.size())
+            out += ",";
+        out += "\n";
+    }
+    out += "],\"displayTimeUnit\":\"ns\",\"otherData\":{";
+    out += "\"event_count\":" + std::to_string(rec.eventCount());
+    out += ",\"dropped_events\":" + std::to_string(rec.droppedEvents());
+    out += "}}\n";
+    return out;
+}
+
+bool
+writeChromeTrace(const TraceRecorder &rec, const std::string &path)
+{
+    const std::string json = exportChromeTrace(rec);
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    const size_t n = std::fwrite(json.data(), 1, json.size(), f);
+    const int rc = std::fclose(f);
+    return n == json.size() && rc == 0;
+}
+
+}  // namespace c2m::obs

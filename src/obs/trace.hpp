@@ -1,0 +1,179 @@
+#ifndef C2M_OBS_TRACE_HPP
+#define C2M_OBS_TRACE_HPP
+
+// Dual-clock event tracing: fixed-capacity per-lane ring buffers of POD
+// trace events, each stamped with both host steady_clock nanoseconds and
+// modeled fabric nanoseconds from the cost spine.  The recorder is
+// installed into a global atomic pointer; when no recorder is installed
+// the per-event cost is one relaxed atomic load and a predictable
+// branch, and no allocation ever happens on the record path.
+//
+// Design constraints (see docs/observability.md):
+//  - TraceEvent is trivially copyable; names are static string literals
+//    owned by the call site, never copied or freed.
+//  - Each writer thread is assigned a lane on first use (round-robin);
+//    lanes are independent rings with a single atomic cursor, so
+//    concurrent writers never contend on a shared ring.
+//  - Rings overwrite oldest events on wrap; droppedEvents() reports how
+//    many were overwritten so exports can annotate truncation.
+//  - Export (snapshot / exportChromeTrace) is intended for quiesced
+//    recorders: stop producers first, or accept torn tail events.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace c2m::obs {
+
+enum class EventKind : uint8_t {
+    SpanBegin = 0,   // opens a nested duration on (track, lane)
+    SpanEnd = 1,     // closes the innermost open duration
+    Instant = 2,     // point event (plan fallback, heal, warning, ...)
+    Counter = 3,     // sampled value; arg carries the sample
+};
+
+// One trace record.  POD: memcpy-able into the ring with no ownership.
+// `name` must be a string with static storage duration (a literal).
+struct TraceEvent {
+    const char *name = nullptr;
+    int64_t hostNs = 0;    // host steady_clock, ns since recorder install
+    double fabricNs = 0;   // modeled fabric time; 0 = no fabric stamp
+    uint64_t arg = 0;      // kind-specific (counter value, priced ns, ...)
+    uint64_t arg2 = 0;     // secondary payload (e.g. fallback price)
+    uint32_t track = 0;    // shard index, or kServiceTrack
+    EventKind kind = EventKind::Instant;
+};
+static_assert(std::is_trivially_copyable_v<TraceEvent>);
+
+// Track id for events that belong to the service / drainer rather than
+// a particular shard.
+inline constexpr uint32_t kServiceTrack = 0xFFFFFFFFu;
+
+struct TraceConfig {
+    uint32_t lanes = 16;              // concurrent writer lanes
+    uint32_t capacityPerLane = 1u << 14;  // events retained per lane
+};
+
+class TraceRecorder {
+public:
+    explicit TraceRecorder(TraceConfig cfg = {});
+    ~TraceRecorder();
+
+    TraceRecorder(const TraceRecorder &) = delete;
+    TraceRecorder &operator=(const TraceRecorder &) = delete;
+
+    // Publish this recorder as the process-wide tracer / retract it.
+    // Only one recorder may be installed at a time; install() replaces
+    // any previous one.  Also hooks the logging layer so C2M_WARN /
+    // C2M_INFORM appear as instant events.
+    void install();
+    void uninstall();
+
+    // Record one event.  Thread-safe, lock-free, allocation-free.
+    void record(const TraceEvent &ev);
+
+    // Convenience stamps ------------------------------------------------
+    int64_t nowHostNs() const {
+        return std::chrono::duration_cast<std::chrono::nanoseconds>(
+                   std::chrono::steady_clock::now() - epoch_)
+            .count();
+    }
+    void spanBegin(const char *name, uint32_t track, double fabricNs = 0) {
+        record({name, nowHostNs(), fabricNs, 0, 0, track,
+                EventKind::SpanBegin});
+    }
+    void spanEnd(const char *name, uint32_t track, double fabricNs = 0) {
+        record({name, nowHostNs(), fabricNs, 0, 0, track,
+                EventKind::SpanEnd});
+    }
+    void instant(const char *name, uint32_t track, uint64_t arg = 0,
+                 uint64_t arg2 = 0, double fabricNs = 0) {
+        record({name, nowHostNs(), fabricNs, arg, arg2, track,
+                EventKind::Instant});
+    }
+    void counter(const char *name, uint32_t track, uint64_t value,
+                 double fabricNs = 0) {
+        record({name, nowHostNs(), fabricNs, value, 0, track,
+                EventKind::Counter});
+    }
+
+    // Introspection / export --------------------------------------------
+    const TraceConfig &config() const { return cfg_; }
+    // Total events accepted (including ones since overwritten).
+    uint64_t eventCount() const;
+    // Events lost to ring wrap-around across all lanes.
+    uint64_t droppedEvents() const;
+
+    // Copy out the retained events of one lane, oldest first.  Intended
+    // for quiesced recorders (no concurrent writers).
+    std::vector<TraceEvent> laneSnapshot(uint32_t lane) const;
+
+private:
+    friend struct TraceLaneHandle;
+    struct Lane;
+
+    uint32_t laneForThisThread();
+
+    TraceConfig cfg_;
+    std::vector<Lane> lanes_;
+    std::atomic<uint32_t> nextLane_{0};
+    std::chrono::steady_clock::time_point epoch_;
+    uint64_t generation_;  // distinguishes recorders for thread-local lanes
+};
+
+namespace detail {
+extern std::atomic<TraceRecorder *> g_tracer;
+}  // namespace detail
+
+// The installed recorder, or nullptr when tracing is disabled.  This is
+// the single relaxed-atomic branch on every instrumentation site:
+//   if (auto *tr = obs::tracer()) tr->instant(...);
+inline TraceRecorder *tracer() {
+    return detail::g_tracer.load(std::memory_order_relaxed);
+}
+
+// RAII span: begins on construction, ends on destruction, no-ops when
+// tracing is disabled at construction time.  fabric stamps are supplied
+// separately at each edge because the modeled clock advances during the
+// span body.
+class ScopedSpan {
+public:
+    ScopedSpan(const char *name, uint32_t track, double fabricBeginNs = 0)
+        : tr_(tracer()), name_(name), track_(track) {
+        if (tr_) tr_->spanBegin(name_, track_, fabricBeginNs);
+    }
+    ~ScopedSpan() {
+        if (tr_) tr_->spanEnd(name_, track_, fabricEndNs_);
+    }
+    ScopedSpan(const ScopedSpan &) = delete;
+    ScopedSpan &operator=(const ScopedSpan &) = delete;
+    // Set the fabric stamp the closing edge should carry.
+    void setFabricEnd(double ns) { fabricEndNs_ = ns; }
+    bool active() const { return tr_ != nullptr; }
+
+private:
+    TraceRecorder *tr_;
+    const char *name_;
+    uint32_t track_;
+    double fabricEndNs_ = 0;
+};
+
+// Serialize the retained events of a quiesced recorder as Chrome
+// trace-event JSON (the format chrome://tracing and Perfetto load).
+//  - host-clock tracks:   pid 0 = service, pid 1+s = shard s
+//  - fabric-clock tracks: pid 1000 + the host pid (only events carrying
+//    a nonzero fabric stamp appear there)
+//  - tid = writer lane + 1
+// Unbalanced spans from ring wrap are sanitized: orphan ends are
+// dropped, unclosed begins get a synthetic end at the last timestamp.
+std::string exportChromeTrace(const TraceRecorder &rec);
+
+// exportChromeTrace + write to a file.  Returns false on I/O failure.
+bool writeChromeTrace(const TraceRecorder &rec, const std::string &path);
+
+}  // namespace c2m::obs
+
+#endif  // C2M_OBS_TRACE_HPP

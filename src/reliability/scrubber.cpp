@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.hpp"
+#include "obs/trace.hpp"
 
 namespace c2m {
 namespace reliability {
@@ -225,6 +226,11 @@ Scrubber::sweepShard(core::C2MEngine &eng, ShardState &st,
     ScrubStats d;
     d.sweeps = 1;
     const double ns0 = eng.backend().opStats().fabricNs;
+    const uint32_t track =
+        static_cast<uint32_t>(&st - shards_.data());
+    obs::TraceRecorder *tr = obs::tracer();
+    if (tr)
+        tr->spanBegin("scrub.sweep", track, ns0);
 
     // Recover expected values: scrubbed mirror + journaled deltas;
     // then drain so fault-free state would be canonical.
@@ -277,6 +283,9 @@ Scrubber::sweepShard(core::C2MEngine &eng, ShardState &st,
                 d.bitsCorrected += res.corrected;
                 d.wordsRecovered += res.uncorrectable;
                 eng.backend().scrubWriteRow(row, got);
+                // arg = flipped bits found, arg2 = fabric row healed.
+                if (tr)
+                    tr->instant("scrub.heal", track, flips, row);
             }
         }
     }
@@ -291,6 +300,9 @@ Scrubber::sweepShard(core::C2MEngine &eng, ShardState &st,
     st.lastSweepBoundary = boundary;
     d.sweepFabricNs = eng.backend().opStats().fabricNs - ns0;
     st.lastSweepCostNs = d.sweepFabricNs;
+    if (tr)
+        tr->spanEnd("scrub.sweep", track,
+                    eng.backend().opStats().fabricNs);
 
     std::lock_guard<std::mutex> lk(m_);
     st.stats += d;

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "common/logging.hpp"
+#include "obs/trace.hpp"
 #include "service/coalesce.hpp"
 
 namespace c2m {
@@ -63,7 +64,7 @@ IngestService::IngestService(core::ShardedEngine &engine,
     for (unsigned s = 0; s < engine_.numShards(); ++s)
         queues_.push_back(std::make_unique<BoundedOpQueue>(
             cfg_.queueCapacity, cfg_.backpressure,
-            [this] { kick(); }));
+            [this] { kick(); }, s));
     drainer_ = std::thread([this] { drainerLoop(); });
 }
 
@@ -163,6 +164,18 @@ IngestService::flushAndWait()
 {
     const uint64_t token = flush();
     wait(token);
+    return token;
+}
+
+uint64_t
+IngestService::forceEpoch()
+{
+    std::lock_guard<std::mutex> lk(m_);
+    if (stop_)
+        return appliedEpoch_;
+    const uint64_t token = cutEpoch_ + 1;
+    flushTarget_ = std::max(flushTarget_, token);
+    drainCv_.notify_one();
     return token;
 }
 
@@ -336,20 +349,28 @@ IngestService::drainerLoop()
 size_t
 IngestService::runEpoch(uint64_t epoch)
 {
+    obs::ScopedSpan epoch_span("epoch", obs::kServiceTrack);
     std::vector<Bucket> buckets;
     size_t cut_total = 0;
-    for (unsigned s = 0; s < engine_.numShards(); ++s) {
-        auto ops = queues_[s]->cut();
-        if (ops.empty())
-            continue;
-        cut_total += ops.size();
-        buckets.push_back({s, std::move(ops)});
+    {
+        obs::ScopedSpan cut_span("epoch.cut", obs::kServiceTrack);
+        for (unsigned s = 0; s < engine_.numShards(); ++s) {
+            auto ops = queues_[s]->cut();
+            if (ops.empty())
+                continue;
+            cut_total += ops.size();
+            buckets.push_back({s, std::move(ops)});
+        }
+        queuedOps_.fetch_sub(cut_total, std::memory_order_relaxed);
     }
-    queuedOps_.fetch_sub(cut_total, std::memory_order_relaxed);
+    if (auto *tr = obs::tracer())
+        tr->counter("service.queued", obs::kServiceTrack,
+                    queuedOps_.load(std::memory_order_relaxed));
 
     ServiceStats es;
     es.epochs = 1;
     if (cfg_.coalesce) {
+        obs::ScopedSpan co_span("epoch.coalesce", obs::kServiceTrack);
         for (auto &b : buckets) {
             auto r = coalesceOps(b.ops);
             es.coalesced += r.merged;
@@ -363,12 +384,29 @@ IngestService::runEpoch(uint64_t epoch)
     {
         std::lock_guard<std::mutex> ek(engineMutex_);
         const auto before = engine_.stats();
-        executeEpoch(epoch, buckets, es);
-        addPlanDelta(es, before, engine_.stats());
+        {
+            obs::ScopedSpan x_span("epoch.execute", obs::kServiceTrack,
+                                   before.fabric.fabricNs);
+            executeEpoch(epoch, buckets, es);
+            if (x_span.active())
+                x_span.setFabricEnd(engine_.stats().fabric.fabricNs);
+        }
+        const auto after = engine_.stats();
+        addPlanDelta(es, before, after);
+        if (auto *tr = obs::tracer()) {
+            // Program-cache hit/miss bursts, sampled per epoch: the
+            // counter track's slope shows cache-busting epochs.
+            tr->counter("progcache.hits", obs::kServiceTrack,
+                        after.programCacheHits);
+            tr->counter("progcache.misses", obs::kServiceTrack,
+                        after.programCacheMisses);
+        }
         if (observer_) {
             // Observer hooks run before the epoch is marked applied,
             // so a scrub at the boundary is visible to every snapshot
             // waiting on this epoch.
+            obs::ScopedSpan ob_span("epoch.observer",
+                                    obs::kServiceTrack);
             for (const auto &b : buckets)
                 observer_->onShardOps(b.shard, b.ops);
             observer_->onEpochApplied(epoch);
@@ -416,38 +454,20 @@ IngestService::runEpoch(uint64_t epoch)
 void
 IngestService::recordDrainLatency(uint64_t us)
 {
-    const auto clamped = static_cast<uint32_t>(
-        std::min<uint64_t>(us, ~uint32_t{0}));
-    if (drainUs_.size() < kLatencyWindow) {
-        drainUs_.push_back(clamped);
-    } else {
-        drainUs_[drainNext_] = clamped;
-        drainNext_ = (drainNext_ + 1) % kLatencyWindow;
-    }
+    drainHist_.record(us);
 }
 
 DrainLatency
 IngestService::drainLatency() const
 {
-    std::vector<uint32_t> lat;
-    {
-        std::lock_guard<std::mutex> lk(m_);
-        lat = drainUs_;
-    }
     DrainLatency out;
-    out.samples = lat.size();
-    if (lat.empty())
+    out.samples = drainHist_.count();
+    if (out.samples == 0)
         return out;
-    std::sort(lat.begin(), lat.end());
-    const auto at = [&](double q) -> uint64_t {
-        const size_t i = static_cast<size_t>(
-            q * static_cast<double>(lat.size() - 1) + 0.5);
-        return lat[std::min(i, lat.size() - 1)];
-    };
-    out.p50 = at(0.50);
-    out.p95 = at(0.95);
-    out.p99 = at(0.99);
-    out.max = lat.back();
+    out.p50 = drainHist_.percentile(0.50);
+    out.p95 = drainHist_.percentile(0.95);
+    out.p99 = drainHist_.percentile(0.99);
+    out.max = drainHist_.max();
     return out;
 }
 

@@ -57,6 +57,7 @@
 
 #include "common/stats.hpp"
 #include "core/sharded.hpp"
+#include "obs/metrics.hpp"
 #include "service/queue.hpp"
 
 namespace c2m {
@@ -223,6 +224,16 @@ class IngestService
     void wait(uint64_t token);
     uint64_t flushAndWait();
 
+    /**
+     * Cut and apply one epoch even when no ops are queued, unlike
+     * flush(), which short-circuits on an idle service. Epoch
+     * observers that defer maintenance to boundaries (e.g. a
+     * virtualized space whose deltas are all journaled host-side)
+     * need a boundary to make progress on an otherwise idle
+     * service. Returns the token to wait() on.
+     */
+    uint64_t forceEpoch();
+
     struct Snapshot
     {
         uint64_t epoch; ///< the applied epoch the counters reflect
@@ -263,9 +274,14 @@ class IngestService
 
     /**
      * p50/p95/p99/max of the per-epoch drain latency (cut through
-     * observer hooks) over the most recent epochs.
+     * observer hooks) over the service lifetime. Quantiles come from
+     * a log-bucketed histogram: exact below 4 us, within one bucket
+     * width (<= 25% relative) above.
      */
     DrainLatency drainLatency() const;
+
+    /** The underlying drain-latency histogram (for MetricsRegistry). */
+    const obs::LogHistogram &drainHistogram() const { return drainHist_; }
 
   private:
     struct Bucket
@@ -282,7 +298,7 @@ class IngestService
     /** Producer-side: force a drain now (full queue, flush). */
     void kick();
 
-    /** Push one epoch's drain time into the ring (m_ held). */
+    /** Record one epoch's drain time (thread-safe). */
     void recordDrainLatency(uint64_t us);
 
     core::ShardedEngine &engine_;
@@ -307,10 +323,12 @@ class IngestService
     /** EWMA of modeled fabric ns per flushed op (guarded by m_). */
     double ewmaOpNs_ = 0.0;
 
-    /** Ring of recent per-epoch drain latencies in us (guarded by m_). */
-    static constexpr size_t kLatencyWindow = 4096;
-    std::vector<uint32_t> drainUs_;
-    size_t drainNext_ = 0;      ///< ring cursor   (guarded by m_)
+    /**
+     * Per-epoch drain latency distribution in us: a log-bucketed
+     * concurrent histogram (obs::) instead of the old exact-sample
+     * ring — unbounded history, fixed footprint, lock-free record.
+     */
+    obs::LogHistogram drainHist_;
 
     /** Serializes epoch execution against snapshot reads. */
     mutable std::mutex engineMutex_;

@@ -8,8 +8,10 @@ namespace c2m {
 namespace service {
 
 BoundedOpQueue::BoundedOpQueue(size_t capacity, Backpressure policy,
-                               std::function<void()> kick)
-    : capacity_(capacity), policy_(policy), kick_(std::move(kick))
+                               std::function<void()> kick,
+                               uint32_t shard)
+    : capacity_(capacity), policy_(policy), kick_(std::move(kick)),
+      shard_(shard)
 {
     C2M_ASSERT(capacity_ >= 1, "queue capacity must be >= 1");
 }
@@ -31,14 +33,22 @@ BoundedOpQueue::push(std::span<const core::BatchOp> ops)
         if (pending_.size() + chunk > capacity_) {
             kick_();
             if (policy_ == Backpressure::Drop) {
+                if (auto *tr = obs::tracer())
+                    tr->instant("queue.drop", shard_,
+                                ops.size() - accepted);
                 stats_.dropped += ops.size() - accepted;
                 break;
             }
             ++stats_.stalls;
-            notFull_.wait(lk, [&] {
-                return closed_ ||
-                       pending_.size() + chunk <= capacity_;
-            });
+            {
+                // The stall span shows exactly how long this producer
+                // sat behind the drainer on this shard's queue.
+                obs::ScopedSpan stall("queue.stall", shard_);
+                notFull_.wait(lk, [&] {
+                    return closed_ ||
+                           pending_.size() + chunk <= capacity_;
+                });
+            }
             continue;
         }
         pending_.insert(pending_.end(), ops.begin() + accepted,

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "core/sharded.hpp"
+#include "obs/trace.hpp"
 
 namespace c2m {
 namespace service {
@@ -56,9 +57,12 @@ class BoundedOpQueue
      * @param kick called (with the queue mutex held) right before a
      *        producer blocks or drops, so the owner can wake its
      *        drainer; must not call back into this queue.
+     * @param shard trace track for stall/drop events (the owning
+     *        shard index; defaults to the service track).
      */
     BoundedOpQueue(size_t capacity, Backpressure policy,
-                   std::function<void()> kick);
+                   std::function<void()> kick,
+                   uint32_t shard = obs::kServiceTrack);
 
     /**
      * Append @p ops FIFO; returns how many were accepted. Blocks or
@@ -83,6 +87,7 @@ class BoundedOpQueue
     const size_t capacity_;
     const Backpressure policy_;
     const std::function<void()> kick_;
+    const uint32_t shard_;
 
     mutable std::mutex m_;
     std::condition_variable notFull_;

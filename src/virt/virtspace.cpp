@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.hpp"
+#include "obs/trace.hpp"
 
 namespace c2m {
 namespace virt {
@@ -137,6 +138,10 @@ VirtualCounterSpace::add(uint64_t key, int64_t value)
     g.slotSeeds[local] = est;
     g.slotSeedBounds[local] = bound;
     ++counts_.promotions;
+    // arg = seeding estimate, arg2 = its analytic error bound.
+    if (auto *tr = obs::tracer())
+        tr->instant("virt.promote", obs::kServiceTrack, est,
+                    static_cast<uint64_t>(std::llround(bound)));
     counts_.estErrorSeedMax = std::max(
         counts_.estErrorSeedMax,
         static_cast<uint64_t>(std::llround(bound)));
@@ -335,6 +340,9 @@ VirtualCounterSpace::maintain()
                 scrub_->noteBatch(matOps_);
         }
         ++counts_.materializations;
+        // arg = directory group materialized from journal deltas.
+        if (auto *tr = obs::tracer())
+            tr->instant("virt.materialize", fr.shard, gi);
     }
     if (moved)
         ++maintRounds_;
@@ -405,6 +413,9 @@ VirtualCounterSpace::spillFrame(int32_t f,
     const Frame &fr = frames_[static_cast<size_t>(f)];
     preSweep(fr.shard, swept);
     const double ns0 = fabricNsNow();
+    obs::TraceRecorder *traceRec = obs::tracer();
+    if (traceRec)
+        traceRec->spanBegin("virt.spill", fr.shard, ns0);
     engine_.runShardTask(
         fr.shard, [&](core::C2MEngine &eng, size_t) {
             if (!g.image)
@@ -443,6 +454,8 @@ VirtualCounterSpace::spillFrame(int32_t f,
             }
         });
     const double cost = fabricNsNow() - ns0;
+    if (traceRec)
+        traceRec->spanEnd("virt.spill", fr.shard, ns0 + cost);
     g.lastMaintNs =
         g.lastMaintNs > 0.0 ? 0.5 * (g.lastMaintNs + cost) : cost;
     counts_.maintenanceFabricNs += cost;
@@ -464,6 +477,9 @@ VirtualCounterSpace::restoreImage(uint32_t gi,
     g.journaledOps = 0;
     g.image->encodeValues(values);
     const double ns0 = fabricNsNow();
+    obs::TraceRecorder *traceRec = obs::tracer();
+    if (traceRec)
+        traceRec->spanBegin("virt.restore", fr.shard, ns0);
     engine_.runShardTask(
         fr.shard, [&](core::C2MEngine &eng, size_t) {
             BitVector row(engine_.shardWidth(fr.shard));
@@ -484,6 +500,8 @@ VirtualCounterSpace::restoreImage(uint32_t gi,
             }
         });
     const double cost = fabricNsNow() - ns0;
+    if (traceRec)
+        traceRec->spanEnd("virt.restore", fr.shard, ns0 + cost);
     g.lastMaintNs =
         g.lastMaintNs > 0.0 ? 0.5 * (g.lastMaintNs + cost) : cost;
     counts_.maintenanceFabricNs += cost;
@@ -623,14 +641,19 @@ VirtualCounterSpace::flush()
             maintain();
         return;
     }
-    // Each flushAndWait cuts an epoch (even when idle), advancing
-    // the boundary until in-flight deltas age past the two-boundary
-    // rule and every pending restore finds a frame.
+    // Drain everything submitted so far, then force further epoch
+    // boundaries (flush() alone short-circuits on an idle service,
+    // and a space whose deltas are all journaled submits nothing)
+    // until in-flight deltas age past the two-boundary rule and
+    // every pending restore finds a frame.
+    svc_->flushAndWait();
     for (int i = 0; i < 8; ++i) {
-        svc_->flushAndWait();
-        std::lock_guard<std::mutex> lk(m_);
-        if (pendingRestore_.empty())
-            return;
+        {
+            std::lock_guard<std::mutex> lk(m_);
+            if (pendingRestore_.empty())
+                return;
+        }
+        svc_->wait(svc_->forceEpoch());
     }
 }
 

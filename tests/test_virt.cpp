@@ -413,6 +413,36 @@ TEST(VirtService, MatchesDirectModeOnTheSameStream)
     }
 }
 
+TEST(VirtService, ColdStartFlushMaterializesJournaledGroups)
+{
+    // Before any group is resident every delta journals host-side,
+    // so the service never sees an op and never cuts an epoch on its
+    // own. flush() must force boundaries (IngestService::forceEpoch)
+    // so maintenance can hand out frames anyway — without it the
+    // space stays fully journaled until stop().
+    ShardedEngine engine(smallConfig(128), 2);
+    service::IngestService svc(engine);
+    VirtConfig vcfg;
+    vcfg.groupSize = 16;
+    vcfg.promoteThreshold = 2;
+    VirtualCounterSpace space(svc, vcfg);
+
+    Shadow shadow;
+    Rng rng(17);
+    for (size_t i = 0; i < 2000; ++i) {
+        const uint64_t key = hashKey(rng.nextBounded(64));
+        shadow.apply(key, 1, space.add(key, 1));
+    }
+    space.flush();
+
+    const auto st = space.stats();
+    EXPECT_GT(st.keysExact, 0u);
+    EXPECT_GT(st.residentGroups, 0u);
+    EXPECT_EQ(st.pendingRestores, 0u);
+    expectExactMatchesShadow(space, shadow);
+    svc.stop();
+}
+
 TEST(VirtService, ConcurrentProducersStayShadowExact)
 {
     ShardedEngine engine(smallConfig(256), 4);
