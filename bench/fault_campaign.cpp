@@ -37,6 +37,7 @@
 #include "common/table.hpp"
 #include "core/sharded.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 #include "reliability/scrubber.hpp"
 #include "service/ingest.hpp"
@@ -45,6 +46,22 @@ using namespace c2m;
 using Clock = std::chrono::steady_clock;
 
 namespace {
+
+/** Inner members of a "fabric_attr" JSON object for one cell. */
+std::string
+attrJson(const double (&attr)[cim::kFabricCatCount])
+{
+    std::string out;
+    char buf[64];
+    for (unsigned c = 0; c < cim::kFabricCatCount; ++c) {
+        std::snprintf(
+            buf, sizeof(buf), "\"%s\": %.1f%s",
+            cim::fabricCatName(static_cast<cim::FabricCat>(c)),
+            attr[c], c + 1 < cim::kFabricCatCount ? ", " : "");
+        out += buf;
+    }
+    return out;
+}
 
 struct CampaignScale
 {
@@ -67,6 +84,8 @@ struct Cell
     double wallS = 0.0;
     double fabricNs = 0.0;
     double fabricNj = 0.0;
+    double attrNs[cim::kFabricCatCount] = {};
+    bool ledgerExact = false;
     double sweepFabricNs = 0.0;
     uint64_t fabricCommands = 0;
     uint64_t retries = 0;
@@ -169,6 +188,9 @@ runCell(core::BackendKind backend, const Scheme &scheme, double rate,
     cell.fabricCommands = es.fabric.commands();
     cell.fabricNs = es.fabric.fabricNs;
     cell.fabricNj = es.fabric.fabricNj;
+    for (unsigned a = 0; a < cim::kFabricCatCount; ++a)
+        cell.attrNs[a] = es.fabric.attrNs[a];
+    cell.ledgerExact = obs::FabricLedger::fromStats(es).exact();
     cell.faultsInjected = es.fabric.faultsInjected;
     cell.retries = es.retries;
     cell.uncorrectedBlocks = es.uncorrectedBlocks;
@@ -305,6 +327,11 @@ main(int argc, char **argv)
             all_fabric && c.fabricNs > 0.0 && c.fabricNj > 0.0;
     std::printf("every cell reports nonzero fabric ns/nj: %s\n",
                 all_fabric ? "yes" : "NO");
+    bool all_ledger = true;
+    for (const auto &c : cells)
+        all_ledger = all_ledger && c.ledgerExact;
+    std::printf("fabric ledger bit-exact in every cell: %s\n",
+                all_ledger ? "yes" : "NO");
 
     if (std::FILE *f = std::fopen("BENCH_reliability.json", "w")) {
         std::fprintf(f,
@@ -328,6 +355,7 @@ main(int argc, char **argv)
                 "\"silent_errors\": %zu, \"max_abs_err\": %lld, "
                 "\"wall_s\": %.4f, \"overhead\": %.3f, "
                 "\"fabric_ns\": %.1f, \"fabric_nj\": %.1f, "
+                "\"ledger_exact\": %s, \"fabric_attr\": {%s}, "
                 "\"sweep_fabric_ns\": %.1f, "
                 "\"fabric_commands\": %llu, \"retries\": %llu, "
                 "\"uncorrected_blocks\": %llu, "
@@ -339,7 +367,9 @@ main(int argc, char **argv)
                 c.backend, c.protection, c.scrub ? "true" : "false",
                 c.rate, c.silentErrors,
                 static_cast<long long>(c.maxAbsErr), c.wallS,
-                c.overhead, c.fabricNs, c.fabricNj, c.sweepFabricNs,
+                c.overhead, c.fabricNs, c.fabricNj,
+                c.ledgerExact ? "true" : "false",
+                attrJson(c.attrNs).c_str(), c.sweepFabricNs,
                 static_cast<unsigned long long>(c.fabricCommands),
                 static_cast<unsigned long long>(c.retries),
                 static_cast<unsigned long long>(c.uncorrectedBlocks),
@@ -369,5 +399,7 @@ main(int argc, char **argv)
         else
             std::printf("FAILED to write %s\n", trace_path);
     }
-    return (gate_violations == 0 && all_fabric) ? 0 : 1;
+    return (gate_violations == 0 && all_fabric && all_ledger)
+               ? 0
+               : 1;
 }

@@ -54,7 +54,9 @@
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "core/sharded.hpp"
+#include "obs/analyze.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 #include "reliability/scrubber.hpp"
 #include "service/ingest.hpp"
@@ -74,6 +76,9 @@ constexpr size_t kNumOps = 4096;
 obs::MetricsRegistry *g_metrics = nullptr;
 std::FILE *g_metricsFile = nullptr;
 CounterMap g_cellReport;
+// Anomaly watchdog over the per-cell snapshots (always runs; the
+// registry is snapshotted per cell even without --metrics).
+obs::Watchdog g_watchdog;
 
 double
 secondsSince(Clock::time_point t0)
@@ -91,6 +96,22 @@ engineConfig(bool planner = true)
     cfg.maxMaskRows = 1;
     cfg.drainPlanner = planner;
     return cfg;
+}
+
+/** Inner members of a "fabric_attr" JSON object for one cell. */
+std::string
+attrJson(const double (&attr)[cim::kFabricCatCount])
+{
+    std::string out;
+    char buf[64];
+    for (unsigned c = 0; c < cim::kFabricCatCount; ++c) {
+        std::snprintf(
+            buf, sizeof(buf), "\"%s\": %.1f%s",
+            cim::fabricCatName(static_cast<cim::FabricCat>(c)),
+            attr[c], c + 1 < cim::kFabricCatCount ? ", " : "");
+        out += buf;
+    }
+    return out;
 }
 
 std::vector<core::BatchOp>
@@ -151,6 +172,8 @@ struct Cell
     double fabricNs = 0.0;
     double fabricNj = 0.0;
     double fabricCriticalNs = 0.0;
+    double attrNs[cim::kFabricCatCount] = {};
+    bool ledgerExact = false;
     size_t minDrainOps = kNumOps;
     uint64_t traceEvents = 0;
     uint64_t rssKb = 0;
@@ -217,16 +240,22 @@ runCell(const char *dist, const std::vector<core::BatchOp> &ops,
     cell.fabricNs = est.fabric.fabricNs;
     cell.fabricNj = est.fabric.fabricNj;
     cell.fabricCriticalNs = est.fabricCriticalNs;
+    for (unsigned c = 0; c < cim::kFabricCatCount; ++c)
+        cell.attrNs[c] = est.fabric.attrNs[c];
+    cell.ledgerExact = obs::FabricLedger::fromStats(est).exact();
     cell.traceEvents = tr ? tr->eventCount() - ev0 : 0;
     cell.rssKb = obs::hostRssKb();
 
-    if (g_metrics && g_metricsFile) {
+    if (g_metrics) {
         g_metrics->histogram("cell_time_us")
             .record(static_cast<uint64_t>(cell.timeS * 1e6));
         g_cellReport = svc.report();
         const auto snap = g_metrics->snapshot();
-        const std::string line = g_metrics->renderJsonLine(snap);
-        std::fwrite(line.data(), 1, line.size(), g_metricsFile);
+        g_watchdog.evaluate(snap);
+        if (g_metricsFile) {
+            const std::string line = g_metrics->renderJsonLine(snap);
+            std::fwrite(line.data(), 1, line.size(), g_metricsFile);
+        }
     }
     return cell;
 }
@@ -306,11 +335,14 @@ runObservabilityShowcase()
     sc.sweeps = scrub.stats().sweeps;
     sc.traceEvents = tr ? tr->eventCount() - ev0 : 0;
 
-    if (g_metrics && g_metricsFile) {
+    if (g_metrics) {
         g_cellReport = space.report();
         const auto snap = g_metrics->snapshot();
-        const std::string line = g_metrics->renderJsonLine(snap);
-        std::fwrite(line.data(), 1, line.size(), g_metricsFile);
+        g_watchdog.evaluate(snap);
+        if (g_metricsFile) {
+            const std::string line = g_metrics->renderJsonLine(snap);
+            std::fwrite(line.data(), 1, line.size(), g_metricsFile);
+        }
     }
     return sc;
 }
@@ -339,15 +371,18 @@ main(int argc, char **argv)
     if (trace_path)
         recorder.install();
     obs::MetricsRegistry registry;
+    g_metrics = &registry;
+    registry.addCounterSource("cell", [] { return g_cellReport; });
+    // The watchdog's own alert totals fold into the stream it
+    // watches, one snapshot behind.
+    registry.addCounterSource("watchdog",
+                              [] { return g_watchdog.counters(); });
     if (metrics_path) {
         g_metricsFile = std::fopen(metrics_path, "w");
         if (!g_metricsFile) {
             std::printf("cannot open %s\n", metrics_path);
             return 2;
         }
-        g_metrics = &registry;
-        registry.addCounterSource("cell",
-                                  [] { return g_cellReport; });
     }
 
     std::printf("async ingest throughput: %zu ops over %zu "
@@ -446,6 +481,9 @@ main(int argc, char **argv)
     for (const auto &c : cells)
         all_fabric = all_fabric && c.fabricNs > 0.0 &&
                      c.fabricNj > 0.0 && c.fabricCriticalNs > 0.0;
+    bool all_ledger = true;
+    for (const auto &c : cells)
+        all_ledger = all_ledger && c.ledgerExact;
 
     const double reduction = zipf_on > 0.0 ? zipf_off / zipf_on : 0.0;
     const double plan_reduction =
@@ -462,8 +500,15 @@ main(int argc, char **argv)
                 100.0 * cache_hit_rate);
     std::printf("every cell reports nonzero fabric ns/nj: %s\n",
                 all_fabric ? "yes" : "NO");
+    std::printf("fabric ledger bit-exact in every cell: %s\n",
+                all_ledger ? "yes" : "NO");
     std::printf("all cells bit-identical to serial replay: %s\n",
                 all_match ? "yes" : "NO");
+    const CounterMap wd = g_watchdog.counters();
+    std::printf("watchdog: %llu evaluations, %llu alerts\n",
+                static_cast<unsigned long long>(
+                    wd.at("evaluations")),
+                static_cast<unsigned long long>(wd.at("alerts")));
 
     if (std::FILE *f = std::fopen("BENCH_ingest.json", "w")) {
         std::fprintf(f,
@@ -474,12 +519,19 @@ main(int argc, char **argv)
                      "  \"plan_reduction\": %.3f,\n"
                      "  \"plan_cache_hit_rate\": %.4f,\n"
                      "  \"all_match_serial_replay\": %s,\n"
+                     "  \"all_ledger_exact\": %s,\n"
+                     "  \"watchdog_evaluations\": %llu,\n"
+                     "  \"watchdog_alerts\": %llu,\n"
                      "  \"showcase\": {\"promotions\": %llu, "
                      "\"spills\": %llu, \"restores\": %llu, "
                      "\"sweeps\": %llu, \"trace_events\": %llu},\n"
                      "  \"cells\": [\n",
                      kNumOps, kNumCounters, reduction, plan_reduction,
                      cache_hit_rate, all_match ? "true" : "false",
+                     all_ledger ? "true" : "false",
+                     static_cast<unsigned long long>(
+                         wd.at("evaluations")),
+                     static_cast<unsigned long long>(wd.at("alerts")),
                      static_cast<unsigned long long>(
                          showcase.promotions),
                      static_cast<unsigned long long>(showcase.spills),
@@ -507,6 +559,7 @@ main(int argc, char **argv)
                 "\"min_drain_ops\": %zu, "
                 "\"fabric_ns\": %.1f, \"fabric_nj\": %.1f, "
                 "\"fabric_critical_ns\": %.1f, "
+                "\"ledger_exact\": %s, \"fabric_attr\": {%s}, "
                 "\"trace_events\": %llu, \"rss_kb\": %llu, "
                 "\"match_reference\": %s}%s\n",
                 c.dist, c.shards, c.producers,
@@ -525,7 +578,8 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(c.cacheHits),
                 static_cast<unsigned long long>(c.cacheMisses),
                 c.minDrainOps, c.fabricNs, c.fabricNj,
-                c.fabricCriticalNs,
+                c.fabricCriticalNs, c.ledgerExact ? "true" : "false",
+                attrJson(c.attrNs).c_str(),
                 static_cast<unsigned long long>(c.traceEvents),
                 static_cast<unsigned long long>(c.rssKb),
                 c.match ? "true" : "false",
@@ -555,10 +609,18 @@ main(int argc, char **argv)
                     recorder.droppedEvents()));
         else
             std::printf("FAILED to write %s\n", trace_path);
+        // Per-epoch critical-path profile of the whole run — the
+        // same analysis tools/trace_analyze performs offline.
+        const auto prof = obs::profileFromRecorder(recorder);
+        std::printf("epoch critical-path profile:\n%s",
+                    obs::renderEpochProfiles(
+                        obs::buildEpochProfiles(prof))
+                        .c_str());
     }
 
     return (reduction >= 2.0 && plan_reduction >= 5.0 &&
-            cache_hit_rate > 0.9 && all_fabric && all_match)
+            cache_hit_rate > 0.9 && all_fabric && all_match &&
+            all_ledger)
                ? 0
                : 1;
 }

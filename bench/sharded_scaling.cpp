@@ -33,6 +33,7 @@
 #include "core/gpu_model.hpp"
 #include "core/sharded.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 
 using namespace c2m;
@@ -101,7 +102,7 @@ main(int argc, char **argv)
                 num_ops, cfg.numCounters);
     TextTable t({"planner", "shards", "time_s", "ops/s", "speedup",
                  "programs", "plan_progs", "cache_hit%",
-                 "fabric_us", "crit_us"});
+                 "fabric_us", "crit_us", "skew", "eff"});
     struct Row
     {
         bool planner;
@@ -116,6 +117,11 @@ main(int argc, char **argv)
         double fabricNs;
         double fabricNj;
         double fabricCriticalNs;
+        double attrNs[cim::kFabricCatCount];
+        double fabricSkew;       ///< straggler / mean shard fabric ns
+        unsigned criticalShard;  ///< shard with the largest fabric ns
+        double parallelEff;      ///< (total/shards) / critical path
+        bool ledgerExact;        ///< attribution rows sum to fabric_ns
         uint64_t traceEvents;
         uint64_t rssKb;
         bool match;
@@ -141,6 +147,9 @@ main(int argc, char **argv)
             // must attribute only the measured batch, not the
             // warm-up's per-op fallback activity.
             const auto st0 = eng.stats();
+            std::vector<double> shard_fab0(shards);
+            for (unsigned s = 0; s < shards; ++s)
+                shard_fab0[s] = eng.shard(s).stats().fabric.fabricNs;
             obs::TraceRecorder *tr = obs::tracer();
             const uint64_t ev0 = tr ? tr->eventCount() : 0;
 
@@ -164,16 +173,49 @@ main(int argc, char **argv)
                 lookups ? static_cast<double>(hits) /
                               static_cast<double>(lookups)
                         : 0.0;
-            rows.push_back({planner, shards, dt, rate, speedup,
-                            st.increments - st0.increments,
-                            st.planPrograms - st0.planPrograms,
-                            st.planFallbackOps - st0.planFallbackOps,
-                            hit_frac,
-                            st.fabric.fabricNs - st0.fabric.fabricNs,
-                            st.fabric.fabricNj - st0.fabric.fabricNj,
-                            st.fabricCriticalNs,
-                            tr ? tr->eventCount() - ev0 : 0,
-                            obs::hostRssKb(), match});
+            // Per-shard modeled fabric time locates the straggler and
+            // quantifies skew without needing a host trace; the ledger
+            // gate checks the cumulative attribution rows still sum
+            // bit-exactly to the merged fabric_ns total.
+            double fab_max = 0.0, fab_sum = 0.0;
+            unsigned crit_shard = 0;
+            for (unsigned s = 0; s < shards; ++s) {
+                const double d =
+                    eng.shard(s).stats().fabric.fabricNs -
+                    shard_fab0[s];
+                fab_sum += d;
+                if (d > fab_max) {
+                    fab_max = d;
+                    crit_shard = s;
+                }
+            }
+            const double fab_mean =
+                fab_sum / static_cast<double>(shards);
+            const double skew =
+                fab_mean > 0.0 ? fab_max / fab_mean : 0.0;
+            const double eff = st.fabricCriticalNs > 0.0
+                                   ? fab_mean / st.fabricCriticalNs
+                                   : 0.0;
+            const auto ledger = obs::FabricLedger::fromStats(st);
+            Row row_v{planner, shards, dt, rate, speedup,
+                      st.increments - st0.increments,
+                      st.planPrograms - st0.planPrograms,
+                      st.planFallbackOps - st0.planFallbackOps,
+                      hit_frac,
+                      st.fabric.fabricNs - st0.fabric.fabricNs,
+                      st.fabric.fabricNj - st0.fabric.fabricNj,
+                      st.fabricCriticalNs,
+                      {},
+                      skew,
+                      crit_shard,
+                      eff,
+                      ledger.exact(),
+                      tr ? tr->eventCount() - ev0 : 0,
+                      obs::hostRssKb(), match};
+            for (unsigned c = 0; c < cim::kFabricCatCount; ++c)
+                row_v.attrNs[c] =
+                    st.fabric.attrNs[c] - st0.fabric.attrNs[c];
+            rows.push_back(row_v);
             const auto &row = rows.back();
             if (metrics_file) {
                 registry.histogram("row_time_us")
@@ -191,7 +233,9 @@ main(int argc, char **argv)
                       std::to_string(row.planPrograms),
                       TextTable::fmt(100.0 * hit_frac, 1),
                       TextTable::fmt(row.fabricNs / 1e3, 1),
-                      TextTable::fmt(row.fabricCriticalNs / 1e3, 1)});
+                      TextTable::fmt(row.fabricCriticalNs / 1e3, 1),
+                      TextTable::fmt(row.fabricSkew, 3),
+                      TextTable::fmt(row.parallelEff, 3)});
         }
     }
     std::printf("%s", t.render().c_str());
@@ -206,6 +250,12 @@ main(int argc, char **argv)
                      r.fabricNj > 0.0 && r.fabricCriticalNs > 0.0;
     std::printf("every row reports nonzero fabric ns/nj: %s\n",
                 all_fabric ? "yes" : "NO");
+
+    bool all_ledger = true;
+    for (const auto &r : rows)
+        all_ledger = all_ledger && r.ledgerExact;
+    std::printf("fabric ledger bit-exact in every cell: %s\n",
+                all_ledger ? "yes" : "NO");
 
     // Analytical GPU baseline on the same cost axis (Fig. 14): a
     // bandwidth-bound scatter-add histogram of the same op stream.
@@ -230,7 +280,7 @@ main(int argc, char **argv)
                      core::backendName(cfg.backend), num_ops,
                      cfg.numCounters, all_match ? "true" : "false",
                      gpu.ns, gpu.nj);
-        for (size_t i = 0; i < rows.size(); ++i)
+        for (size_t i = 0; i < rows.size(); ++i) {
             std::fprintf(
                 f,
                 "    {\"planner\": %s, \"shards\": %u, "
@@ -242,7 +292,9 @@ main(int argc, char **argv)
                 "\"program_cache_hit_rate\": %.4f, "
                 "\"fabric_ns\": %.1f, \"fabric_nj\": %.1f, "
                 "\"fabric_critical_ns\": %.1f, "
-                "\"trace_events\": %llu, \"rss_kb\": %llu}%s\n",
+                "\"fabric_skew\": %.4f, \"critical_shard\": %u, "
+                "\"parallel_efficiency\": %.4f, "
+                "\"ledger_exact\": %s, \"fabric_attr\": {",
                 rows[i].planner ? "true" : "false", rows[i].shards,
                 rows[i].timeS, rows[i].opsPerS, rows[i].speedup,
                 static_cast<unsigned long long>(rows[i].increments),
@@ -252,10 +304,25 @@ main(int argc, char **argv)
                     rows[i].planFallbackOps),
                 rows[i].cacheHitFrac, rows[i].fabricNs,
                 rows[i].fabricNj, rows[i].fabricCriticalNs,
+                rows[i].fabricSkew, rows[i].criticalShard,
+                rows[i].parallelEff,
+                rows[i].ledgerExact ? "true" : "false");
+            for (unsigned c = 0; c < cim::kFabricCatCount; ++c)
+                std::fprintf(
+                    f, "\"%s\": %.1f%s",
+                    cim::fabricCatName(
+                        static_cast<cim::FabricCat>(c)),
+                    rows[i].attrNs[c],
+                    c + 1 < cim::kFabricCatCount ? ", " : "");
+            std::fprintf(
+                f,
+                "}, "
+                "\"trace_events\": %llu, \"rss_kb\": %llu}%s\n",
                 static_cast<unsigned long long>(
                     rows[i].traceEvents),
                 static_cast<unsigned long long>(rows[i].rssKb),
                 i + 1 < rows.size() ? "," : "");
+        }
         std::fprintf(f, "  ]\n}\n");
         std::fclose(f);
         std::printf("wrote BENCH_sharded.json\n");
@@ -278,6 +345,15 @@ main(int argc, char **argv)
                     recorder.droppedEvents()));
         else
             std::printf("FAILED to write %s\n", trace_path);
+        // Critical-path report straight from the quiesced recorder —
+        // the same analysis tools/trace_analyze runs offline.
+        const auto prof = obs::profileFromRecorder(recorder);
+        std::printf("epoch critical-path profile:\n%s",
+                    obs::renderEpochProfiles(
+                        obs::buildEpochProfiles(prof))
+                        .c_str());
     }
-    return (four_shard_ok && all_match && all_fabric) ? 0 : 1;
+    return (four_shard_ok && all_match && all_fabric && all_ledger)
+               ? 0
+               : 1;
 }

@@ -47,6 +47,7 @@
 #include "common/table.hpp"
 #include "core/sharded.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 #include "virt/virtspace.hpp"
 
@@ -59,6 +60,22 @@ double
 secondsSince(Clock::time_point t0)
 {
     return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/** Inner members of a "fabric_attr" JSON object for one cell. */
+std::string
+attrJson(const double (&attr)[cim::kFabricCatCount])
+{
+    std::string out;
+    char buf[64];
+    for (unsigned c = 0; c < cim::kFabricCatCount; ++c) {
+        std::snprintf(
+            buf, sizeof(buf), "\"%s\": %.1f%s",
+            cim::fabricCatName(static_cast<cim::FabricCat>(c)),
+            attr[c], c + 1 < cim::kFabricCatCount ? ", " : "");
+        out += buf;
+    }
+    return out;
 }
 
 uint64_t
@@ -104,6 +121,8 @@ struct Cell
     double maintNs = 0.0;
     double fabricNs = 0.0;
     double fabricNj = 0.0;
+    double attrNs[cim::kFabricCatCount] = {};
+    bool ledgerExact = false;
     double errBound = 0.0;
     size_t tailSampled = 0;
     double tailWithinFrac = 0.0;
@@ -205,6 +224,9 @@ runCell(const CellSpec &spec)
     const auto est = engine.stats();
     cell.fabricNs = est.fabric.fabricNs;
     cell.fabricNj = est.fabric.fabricNj;
+    for (unsigned a = 0; a < cim::kFabricCatCount; ++a)
+        cell.attrNs[a] = est.fabric.attrNs[a];
+    cell.ledgerExact = obs::FabricLedger::fromStats(est).exact();
     cell.traceEvents = tr ? tr->eventCount() - ev0 : 0;
     cell.rssKb = obs::hostRssKb();
 
@@ -322,6 +344,9 @@ main(int argc, char **argv)
         all_tail = all_tail && c.tailWithinFrac >= 0.99;
         replay_ok = replay_ok && c.replayMatch;
     }
+    bool all_ledger = true;
+    for (const auto &c : cells)
+        all_ledger = all_ledger && c.ledgerExact;
     const Cell &headline = cells[1];
     const bool pressure = headline.spills > 0 &&
                           headline.restores > 0 &&
@@ -345,6 +370,8 @@ main(int argc, char **argv)
                 all_tail ? "yes" : "NO");
     std::printf("every cell reports nonzero fabric ns/nj: %s\n",
                 all_fabric ? "yes" : "NO");
+    std::printf("fabric ledger bit-exact in every cell: %s\n",
+                all_ledger ? "yes" : "NO");
 
     if (std::FILE *f = std::fopen("BENCH_virt.json", "w")) {
         std::fprintf(f,
@@ -373,6 +400,7 @@ main(int argc, char **argv)
                 "\"sketch_updates\": %llu, "
                 "\"maintenance_fabric_ns\": %.1f, "
                 "\"fabric_ns\": %.1f, \"fabric_nj\": %.1f, "
+                "\"ledger_exact\": %s, \"fabric_attr\": {%s}, "
                 "\"est_error_bound\": %.3f, "
                 "\"tail_sampled\": %zu, "
                 "\"tail_within_bound_frac\": %.4f, "
@@ -392,7 +420,9 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(
                     c.materializations),
                 static_cast<unsigned long long>(c.sketchUpdates),
-                c.maintNs, c.fabricNs, c.fabricNj, c.errBound,
+                c.maintNs, c.fabricNs, c.fabricNj,
+                c.ledgerExact ? "true" : "false",
+                attrJson(c.attrNs).c_str(), c.errBound,
                 c.tailSampled, c.tailWithinFrac,
                 static_cast<unsigned long long>(c.traceEvents),
                 static_cast<unsigned long long>(c.rssKb),
@@ -418,7 +448,7 @@ main(int argc, char **argv)
             std::printf("FAILED to write %s\n", trace_path);
     }
     return (all_shadow && replay_ok && pressure && all_tail &&
-            all_fabric)
+            all_fabric && all_ledger)
                ? 0
                : 1;
 }

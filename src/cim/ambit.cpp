@@ -32,8 +32,7 @@ AmbitSubarray::hostReadRow(size_t r)
 {
     C2M_ASSERT(r < dataRows_.size(), "row ", r, " out of range");
     ++stats_.rowReads;
-    stats_.fabricNs += costs_.rowReadNs;
-    stats_.fabricNj += costs_.rowReadNj;
+    stats_.charge(costs_.rowReadNs, costs_.rowReadNj);
     return dataRows_[r];
 }
 
@@ -43,8 +42,7 @@ AmbitSubarray::hostWriteRow(size_t r, const BitVector &v)
     C2M_ASSERT(r < dataRows_.size(), "row ", r, " out of range");
     C2M_ASSERT(v.size() == numCols_, "row width mismatch");
     ++stats_.rowWrites;
-    stats_.fabricNs += costs_.rowWriteNs;
-    stats_.fabricNj += costs_.rowWriteNj;
+    stats_.charge(costs_.rowWriteNs, costs_.rowWriteNj);
     dataRows_[r] = v;
 }
 
@@ -198,8 +196,7 @@ AmbitSubarray::execute(const AmbitOp &op)
 {
     if (op.kind == AmbitOp::Kind::AP) {
         ++stats_.ap;
-        stats_.fabricNs += costs_.apNs;
-        stats_.fabricNj += costs_.apNj;
+        stats_.charge(costs_.apNs, costs_.apNj);
         C2M_ASSERT(op.src.isTriple(),
                    "AP is only meaningful on a triple activation");
         resolveRead(op.src, false);
@@ -207,8 +204,7 @@ AmbitSubarray::execute(const AmbitOp &op)
     }
 
     ++stats_.aap;
-    stats_.fabricNs += costs_.aapNs;
-    stats_.fabricNj += costs_.aapNj;
+    stats_.charge(costs_.aapNs, costs_.aapNj);
     const bool is_copy = !op.src.isTriple();
     const BitVector &v = resolveRead(op.src, is_copy);
     writeSet(op.dst, v);

@@ -35,6 +35,43 @@ struct FaultModel
 };
 
 /**
+ * Attribution category for modeled fabric time: every charged
+ * nanosecond lands in exactly one ledger row, set by the AttrScope in
+ * effect when the substrate issues the command. The enumeration is
+ * exhaustive — anything not inside a more specific scope falls into
+ * Other (broadcast accumulate, counter reads, digit drains, ...).
+ */
+enum class FabricCat : uint8_t
+{
+    Plan = 0,        ///< planner digit-plane program execution
+    Fallback,        ///< per-op serial replay (planner bail-out)
+    MaskWrite,       ///< host mask-row programming
+    Scrub,           ///< reliability scrub sweeps & rebases
+    VirtSpill,       ///< virt frame spill to backing store
+    VirtRestore,     ///< virt frame restore from backing store
+    VirtMaterialize, ///< virt region first-touch materialization
+    Other,           ///< everything else (default scope)
+};
+
+inline constexpr unsigned kFabricCatCount = 8;
+
+inline const char *
+fabricCatName(FabricCat c)
+{
+    switch (c) {
+    case FabricCat::Plan: return "plan";
+    case FabricCat::Fallback: return "fallback";
+    case FabricCat::MaskWrite: return "mask_write";
+    case FabricCat::Scrub: return "scrub";
+    case FabricCat::VirtSpill: return "virt_spill";
+    case FabricCat::VirtRestore: return "virt_restore";
+    case FabricCat::VirtMaterialize: return "virt_materialize";
+    case FabricCat::Other: return "other";
+    }
+    return "?";
+}
+
+/**
  * Running tally of executed operations and injected faults, plus the
  * modeled fabric cost charged at each command issue point. fabricNs
  * is single-device serial time (the bank executing every command
@@ -42,6 +79,14 @@ struct FaultModel
  * the engines when they report a critical path. TRAs charge no extra
  * time or energy — the triple activation is part of the AAP/AP that
  * issued it.
+ *
+ * Ledger invariant: fabricNs is never accumulated directly; charge()
+ * adds to the active attrNs row and recomputes fabricNs as the fixed
+ * left-to-right sum of all rows (as does operator+= after an
+ * element-wise row merge). Because every path to fabricNs goes
+ * through that one summation order, sum(attrNs) == fabricNs holds
+ * bit-exactly — not merely within floating-point tolerance — at any
+ * aggregation depth.
  */
 struct OpStats
 {
@@ -54,12 +99,45 @@ struct OpStats
     double fabricNs = 0.0;       ///< modeled serial fabric time
     double fabricNj = 0.0;       ///< modeled fabric energy
 
+    /** Per-category attribution rows; sum equals fabricNs bit-exactly. */
+    double attrNs[kFabricCatCount] = {};
+
+    /** Category charges land in; scoped by cim::AttrScope, not merged. */
+    FabricCat attrCat = FabricCat::Other;
+
     uint64_t commands() const { return aap + ap; }
+
+    double
+    attr(FabricCat c) const
+    {
+        return attrNs[static_cast<unsigned>(c)];
+    }
+
+    /** Charge modeled cost to the active attribution category. */
+    void
+    charge(double ns, double nj)
+    {
+        attrNs[static_cast<unsigned>(attrCat)] += ns;
+        fabricNj += nj;
+        syncFabricTotal();
+    }
+
+    /** Recompute fabricNs from the ledger rows in canonical order. */
+    void
+    syncFabricTotal()
+    {
+        double total = 0.0;
+        for (double row : attrNs)
+            total += row;
+        fabricNs = total;
+    }
 
     void
     reset()
     {
+        const FabricCat cat = attrCat;
         *this = OpStats{};
+        attrCat = cat;
     }
 
     OpStats &
@@ -71,10 +149,56 @@ struct OpStats
         faultsInjected += o.faultsInjected;
         rowReads += o.rowReads;
         rowWrites += o.rowWrites;
-        fabricNs += o.fabricNs;
         fabricNj += o.fabricNj;
+        for (unsigned i = 0; i < kFabricCatCount; ++i)
+            attrNs[i] += o.attrNs[i];
+        syncFabricTotal();
         return *this;
     }
+};
+
+/**
+ * True for categories naming a maintenance subsystem (scrub, virt)
+ * rather than a phase of normal batch execution. A subsystem scope
+ * owns all fabric work nested under it: engine-level scopes
+ * (Plan/Fallback/MaskWrite) opened inside it do not re-attribute.
+ */
+inline bool
+fabricCatIsSubsystem(FabricCat c)
+{
+    return c == FabricCat::Scrub || c == FabricCat::VirtSpill ||
+           c == FabricCat::VirtRestore ||
+           c == FabricCat::VirtMaterialize;
+}
+
+/**
+ * RAII attribution context: routes every fabric charge issued through
+ * the given OpStats into `cat` for the scope's lifetime, restoring
+ * the previous category on exit. Engine-level scopes nest (MaskWrite
+ * inside Plan: innermost wins), but never override an active
+ * subsystem scope — virt materialization driving the normal batch
+ * path stays VirtMaterialize all the way down. Safe under the
+ * per-shard single-writer discipline — each shard's backend stats are
+ * only ever charged from the thread running that shard's task.
+ */
+class AttrScope
+{
+  public:
+    AttrScope(OpStats &stats, FabricCat cat)
+        : stats_(stats), prev_(stats.attrCat)
+    {
+        if (fabricCatIsSubsystem(cat) || !fabricCatIsSubsystem(prev_))
+            stats_.attrCat = cat;
+    }
+
+    ~AttrScope() { stats_.attrCat = prev_; }
+
+    AttrScope(const AttrScope &) = delete;
+    AttrScope &operator=(const AttrScope &) = delete;
+
+  private:
+    OpStats &stats_;
+    FabricCat prev_;
 };
 
 } // namespace cim

@@ -63,8 +63,7 @@ NvmMachine::writeRow(size_t r, const BitVector &v)
     C2M_ASSERT(r < rows_.size(), "row ", r, " out of range");
     C2M_ASSERT(v.size() == numCols_, "row width mismatch");
     ++stats_.rowWrites;
-    stats_.fabricNs += costs_.rowWriteNs;
-    stats_.fabricNj += costs_.rowWriteNj;
+    stats_.charge(costs_.rowWriteNs, costs_.rowWriteNj);
     rows_[r] = v;
 }
 
@@ -73,8 +72,7 @@ NvmMachine::hostReadRow(size_t r)
 {
     C2M_ASSERT(r < rows_.size(), "row ", r, " out of range");
     ++stats_.rowReads;
-    stats_.fabricNs += costs_.rowReadNs;
-    stats_.fabricNj += costs_.rowReadNj;
+    stats_.charge(costs_.rowReadNs, costs_.rowReadNj);
     return rows_[r];
 }
 
@@ -124,8 +122,7 @@ NvmMachine::execute(const NvmOp &op)
     }
 
     ++stats_.aap; // count every op as one array command
-    stats_.fabricNs += costs_.aapNs;
-    stats_.fabricNj += costs_.aapNj;
+    stats_.charge(costs_.aapNs, costs_.aapNj);
     if (is_logic) {
         ++stats_.tra;
         if (fault_.pMaj > 0.0)

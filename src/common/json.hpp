@@ -1,0 +1,77 @@
+#ifndef C2M_COMMON_JSON_HPP
+#define C2M_COMMON_JSON_HPP
+
+/**
+ * @file
+ * Minimal recursive-descent JSON reader for the analysis tools.
+ *
+ * The repo's emitters (BENCH_*.json, Chrome traces, metrics.jsonl)
+ * write plain ASCII JSON; this reader covers that dialect — objects,
+ * arrays, strings with the standard escapes, doubles, bools, null —
+ * with positions preserved (object members keep file order) and no
+ * external dependency. It is a *reader*, deliberately not a writer:
+ * emission stays with the subsystem owning the format.
+ */
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace c2m {
+namespace json {
+
+class Value
+{
+  public:
+    enum class Kind : uint8_t
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<Value> items;                          // Array
+    std::vector<std::pair<std::string, Value>> members; // Object
+
+    bool isNull() const { return kind == Kind::Null; }
+    bool isBool() const { return kind == Kind::Bool; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isObject() const { return kind == Kind::Object; }
+
+    /** Object member lookup (first match), nullptr when absent. */
+    const Value *find(std::string_view key) const;
+
+    /** Member as number/bool/string with a fallback when absent. */
+    double numberOr(std::string_view key, double fallback) const;
+    bool boolOr(std::string_view key, bool fallback) const;
+    std::string stringOr(std::string_view key,
+                         std::string fallback) const;
+};
+
+/**
+ * Parse @p text into @p out. Returns false on malformed input and, if
+ * @p error is non-null, stores a one-line message with the byte
+ * offset. Trailing whitespace is allowed; trailing garbage is not.
+ */
+bool parse(std::string_view text, Value &out,
+           std::string *error = nullptr);
+
+/** Read a whole file and parse it. */
+bool parseFile(const std::string &path, Value &out,
+               std::string *error = nullptr);
+
+} // namespace json
+} // namespace c2m
+
+#endif // C2M_COMMON_JSON_HPP

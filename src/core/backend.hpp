@@ -171,6 +171,15 @@ class CountingBackend
     virtual cim::OpStats opStats() const = 0;
 
     /**
+     * Mutable reference to the live substrate tally, for scoping
+     * fabric-time attribution (cim::AttrScope) at engine-layer
+     * boundaries. Same single-writer discipline as every other
+     * mutating entry point: only the thread running the owning
+     * shard's task may hold a scope on it.
+     */
+    virtual cim::OpStats &opStatsRef() = 0;
+
+    /**
      * Reliable (memory-controller) read of raw fabric row @p row,
      * counted as a host row read (caps().rowScrub).
      */

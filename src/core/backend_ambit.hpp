@@ -54,6 +54,7 @@ class AmbitBackend final : public CountingBackend
     void clearCounters() override;
 
     cim::OpStats opStats() const override { return sub_.stats(); }
+    cim::OpStats &opStatsRef() override { return sub_.stats(); }
     const BitVector &scrubReadRow(unsigned row) override;
     void scrubWriteRow(unsigned row, const BitVector &v) override;
     bool setFrChecks(unsigned fr_checks) override;

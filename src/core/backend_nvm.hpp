@@ -57,6 +57,7 @@ class NvmBackend final : public CountingBackend
     void clearCounters() override;
 
     cim::OpStats opStats() const override { return mach_.stats(); }
+    cim::OpStats &opStatsRef() override { return mach_.stats(); }
     const BitVector &scrubReadRow(unsigned row) override;
     void scrubWriteRow(unsigned row, const BitVector &v) override;
 

@@ -57,6 +57,7 @@ class RcaBackend final : public CountingBackend
     void clearCounters() override;
 
     cim::OpStats opStats() const override { return sub_.stats(); }
+    cim::OpStats &opStatsRef() override { return sub_.stats(); }
 
     /** The underlying fabric simulator (white-box tests, op stats). */
     cim::AmbitSubarray &subarray() { return sub_; }

@@ -38,6 +38,22 @@ EngineStats::toCounters() const
         {"engine.fabric.ns", ns(fabric.fabricNs)},
         {"engine.fabric.nj", ns(fabric.fabricNj)},
         {"engine.fabric.critical_ns", ns(fabricCriticalNs)},
+        {"engine.fabric.attr.plan",
+         ns(fabric.attr(cim::FabricCat::Plan))},
+        {"engine.fabric.attr.fallback",
+         ns(fabric.attr(cim::FabricCat::Fallback))},
+        {"engine.fabric.attr.mask_write",
+         ns(fabric.attr(cim::FabricCat::MaskWrite))},
+        {"engine.fabric.attr.scrub",
+         ns(fabric.attr(cim::FabricCat::Scrub))},
+        {"engine.fabric.attr.virt_spill",
+         ns(fabric.attr(cim::FabricCat::VirtSpill))},
+        {"engine.fabric.attr.virt_restore",
+         ns(fabric.attr(cim::FabricCat::VirtRestore))},
+        {"engine.fabric.attr.virt_materialize",
+         ns(fabric.attr(cim::FabricCat::VirtMaterialize))},
+        {"engine.fabric.attr.other",
+         ns(fabric.attr(cim::FabricCat::Other))},
     };
 }
 

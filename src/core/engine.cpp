@@ -89,6 +89,8 @@ void
 C2MEngine::setMask(unsigned handle, const std::vector<uint8_t> &mask)
 {
     C2M_ASSERT(handle < numMasks_, "unknown mask handle ", handle);
+    cim::AttrScope attr(backend_->opStatsRef(),
+                        cim::FabricCat::MaskWrite);
     backend_->writeMask(handle,
                         dram::maskRow(mask, cfg_.numCounters));
 }
@@ -99,6 +101,8 @@ C2MEngine::setMask(unsigned handle, const BitVector &mask)
     C2M_ASSERT(handle < numMasks_, "unknown mask handle ", handle);
     C2M_ASSERT(mask.size() == cfg_.numCounters,
                "mask width mismatch");
+    cim::AttrScope attr(backend_->opStatsRef(),
+                        cim::FabricCat::MaskWrite);
     backend_->writeMask(handle, mask);
 }
 
@@ -248,6 +252,8 @@ C2MEngine::accumulatePlan(std::span<const MaskedStep> steps,
     const bool pending = backend_->caps().pendingFlags;
     auto &sched = schedulers_[group];
 
+    cim::AttrScope attr(backend_->opStatsRef(),
+                        cim::FabricCat::Plan);
     if (pending) {
         for (unsigned d : sched.prepareAdd(worst))
             ripple(group, d);
@@ -255,7 +261,11 @@ C2MEngine::accumulatePlan(std::span<const MaskedStep> steps,
     }
 
     for (const auto &s : steps) {
-        backend_->writeMask(s.maskHandle, *s.mask);
+        {
+            cim::AttrScope mrow(backend_->opStatsRef(),
+                                cim::FabricCat::MaskWrite);
+            backend_->writeMask(s.maskHandle, *s.mask);
+        }
         incrementDigit(group, s.digit, s.k,
                        maskRowIndex(s.maskHandle));
         ++stats_.planPrograms;

@@ -279,6 +279,12 @@ ShardedEngine::runShardSerial(unsigned s,
     C2MEngine &eng = *shards_[s];
     auto &sc = scratch_[s];
     const size_t lo = starts_[s];
+    // The whole per-op replay path attributes to Fallback — both the
+    // planner's bail-outs and the entire batch when the planner is
+    // off. Point-mask rewrites inside it still land in MaskWrite via
+    // the nested scope in C2MEngine::setMask (innermost wins).
+    cim::AttrScope attr(eng.backend().opStatsRef(),
+                        cim::FabricCat::Fallback);
     for (const auto &op : ops) {
         const size_t col = static_cast<size_t>(op.counter) - lo;
         if (sc.pointCol != col) {

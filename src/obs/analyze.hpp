@@ -1,0 +1,115 @@
+#ifndef C2M_OBS_ANALYZE_HPP
+#define C2M_OBS_ANALYZE_HPP
+
+/**
+ * @file
+ * Trace reports and the anomaly watchdog.
+ *
+ * The report helpers aggregate a normalized ProfileInput (see
+ * obs/profiler.hpp) into the views `tools/trace_analyze` prints:
+ * top-N span families by total host time, and per-track latency
+ * distributions of the drain spans.
+ *
+ * The Watchdog is a rule engine over MetricsRegistry snapshot deltas:
+ * each evaluate() checks a fixed set of health rules (queue stall and
+ * drop ratios, program-cache hit-rate collapse, uncorrected scrub
+ * blocks, trace ring drops) against the *interval* counters, fires a
+ * C2M_WARN per violated rule, and counts firings in its own
+ * watchdog.* counters so alert rates are themselves observable.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
+
+namespace c2m::obs {
+
+/** Aggregate of every span sharing one name (a span family). */
+struct SpanFamily
+{
+    std::string name;
+    uint64_t count = 0;
+    int64_t totalHostNs = 0;
+    int64_t maxHostNs = 0;
+    double totalFabricNs = 0.0; ///< summed stamped deltas only
+
+    double meanHostNs() const
+    {
+        return count == 0 ? 0.0
+                          : static_cast<double>(totalHostNs) /
+                                static_cast<double>(count);
+    }
+};
+
+/** Span families sorted by total host time, truncated to @p topN. */
+std::vector<SpanFamily> topSpanFamilies(const ProfileInput &in,
+                                        size_t topN);
+
+/** Render span families as an aligned table. */
+std::string renderSpanFamilies(const std::vector<SpanFamily> &fams);
+
+/**
+ * Per-track latency report: feeds every span named @p spanName into a
+ * LogHistogram per track and renders count/p50/p95/p99/max columns.
+ */
+std::string renderTrackLatency(const ProfileInput &in,
+                               const std::string &spanName);
+
+/** Thresholds for the anomaly rules; defaults match docs. */
+struct WatchdogConfig
+{
+    /** service.stalls / service.submitted above this trips. */
+    double stallRatioMax = 0.5;
+    /** service.dropped / service.submitted above this trips. */
+    double dropRatioMax = 0.01;
+    /** Cache hit rate below this trips (given enough lookups). */
+    double cacheHitRateMin = 0.5;
+    /** Minimum interval lookups before the hit-rate rule applies. */
+    uint64_t cacheMinLookups = 256;
+    /** Any interval engine.uncorrected_blocks trips. */
+    bool warnOnUncorrected = true;
+    /** Any growth of the tracer's droppedEvents trips. */
+    bool warnOnTraceDrops = true;
+};
+
+/**
+ * Rule-based anomaly detector over snapshot deltas.
+ *
+ * Intended use: call registry.snapshot() periodically, hand each
+ * snapshot to evaluate(). Each violated rule logs one C2M_WARN (the
+ * logging layer rate-limits repeats) and bumps a per-rule counter.
+ * Register counters() as a registry source (named "watchdog") to fold
+ * alert totals back into the same snapshot stream being watched.
+ */
+class Watchdog
+{
+  public:
+    explicit Watchdog(WatchdogConfig cfg = {}) : cfg_(cfg) {}
+
+    /** Check all rules against one snapshot. Returns alerts fired. */
+    uint32_t evaluate(const MetricsRegistry::Snapshot &snap);
+
+    /** watchdog.evaluations / .alerts / .alert.<rule> totals. */
+    CounterMap counters() const;
+
+    const WatchdogConfig &config() const { return cfg_; }
+
+  private:
+    WatchdogConfig cfg_;
+    uint64_t evaluations_ = 0;
+    uint64_t alerts_ = 0;
+    uint64_t queueStall_ = 0;
+    uint64_t queueDrop_ = 0;
+    uint64_t cacheCollapse_ = 0;
+    uint64_t uncorrected_ = 0;
+    uint64_t traceDrops_ = 0;
+    uint64_t prevTraceDropped_ = 0; ///< tracer() drop watermark
+};
+
+} // namespace c2m::obs
+
+#endif // C2M_OBS_ANALYZE_HPP

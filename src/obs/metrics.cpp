@@ -18,6 +18,11 @@ LogHistogram::record(uint64_t value)
            !max_.compare_exchange_weak(seen, value,
                                        std::memory_order_relaxed)) {
     }
+    uint64_t lo = min_.load(std::memory_order_relaxed);
+    while (value < lo &&
+           !min_.compare_exchange_weak(lo, value,
+                                       std::memory_order_relaxed)) {
+    }
 }
 
 double
@@ -72,15 +77,33 @@ LogHistogram::percentile(double q) const
         q * static_cast<double>(n - 1) + 0.5);
     if (rank >= n)
         rank = n - 1;
+    // The top order statistic is tracked exactly.
+    if (rank == n - 1)
+        return max();
     uint64_t cum = 0;
     for (uint32_t i = 0; i < kBucketCount; ++i) {
-        cum += bucketCount(i);
+        const uint64_t c = bucketCount(i);
+        cum += c;
         if (cum > rank) {
-            // Upper edge of the rank's bucket, clamped to the observed
-            // max. The saturated top bucket's hi is already inclusive.
+            // Interpolate the rank's position within its bucket: the
+            // p-th of c samples sits at the (p+0.5)/c point of the
+            // bucket span under a uniform spread. Clamping to the
+            // tracked [min, max] keeps single-bucket distributions
+            // exact and the estimate inside the observed range (the
+            // old upper-edge return biased a whole octave high at
+            // sub-bucket boundaries).
+            const uint64_t lo = bucketLo(i);
             const uint64_t hi = bucketHi(i);
-            const uint64_t edge = hi == UINT64_MAX ? hi : hi - 1;
-            return std::min(edge, max());
+            if (hi == UINT64_MAX)  // saturated top bucket: no width
+                return max();
+            const uint64_t width = hi - lo;
+            const uint64_t p = rank - (cum - c);
+            const uint64_t est =
+                lo + static_cast<uint64_t>(
+                         static_cast<double>(width) *
+                         ((static_cast<double>(p) + 0.5) /
+                          static_cast<double>(c)));
+            return std::min(max(), std::max(min(), est));
         }
     }
     return max();
@@ -94,6 +117,7 @@ LogHistogram::clear()
     count_.store(0, std::memory_order_relaxed);
     sum_.store(0, std::memory_order_relaxed);
     max_.store(0, std::memory_order_relaxed);
+    min_.store(UINT64_MAX, std::memory_order_relaxed);
 }
 
 LogHistogram &
@@ -242,8 +266,17 @@ std::string
 MetricsRegistry::renderPrometheus(const Snapshot &snap) const
 {
     std::string out;
-    for (const auto &[k, v] : snap.total) {
-        const std::string name = sanitizeMetricName(k);
+    // Aggregate by sanitized name first: distinct dotted names may
+    // collapse to one metric name, and promtool rejects a family that
+    // appears under two # TYPE headers.  Counters follow the
+    // OpenMetrics convention of a _total suffix.
+    std::map<std::string, uint64_t> agg;
+    for (const auto &[k, v] : snap.total)
+        agg[sanitizeMetricName(k)] += v;
+    for (const auto &[k, v] : agg) {
+        const bool suffixed =
+            k.size() >= 6 && k.compare(k.size() - 6, 6, "_total") == 0;
+        const std::string name = suffixed ? k : k + "_total";
         out += "# TYPE " + name + " counter\n";
         out += name + " " + std::to_string(v) + "\n";
     }
@@ -265,6 +298,14 @@ MetricsRegistry::renderPrometheus(const Snapshot &snap) const
                std::to_string(h->count()) + "\n";
         out += name + "_sum " + std::to_string(h->sum()) + "\n";
         out += name + "_count " + std::to_string(h->count()) + "\n";
+        // Precomputed quantile estimates as a labeled gauge family —
+        // scrapers get p50/p95/p99 without replaying bucket math.
+        out += "# TYPE " + name + "_quantile gauge\n";
+        static constexpr struct { const char *label; double q; }
+        kQuantiles[] = {{"0.5", 0.50}, {"0.95", 0.95}, {"0.99", 0.99}};
+        for (const auto &[label, q] : kQuantiles)
+            out += name + "_quantile{quantile=\"" + label + "\"} " +
+                   std::to_string(h->percentile(q)) + "\n";
     }
     return out;
 }

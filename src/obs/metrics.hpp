@@ -44,14 +44,21 @@ public:
     uint64_t count() const { return count_.load(std::memory_order_relaxed); }
     uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
     uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+    /** Smallest recorded sample (0 when empty). */
+    uint64_t min() const {
+        const uint64_t v = min_.load(std::memory_order_relaxed);
+        return v == UINT64_MAX ? 0 : v;
+    }
     double meanValue() const;
 
     /**
      * Quantile estimate, q in [0, 1].  Uses the same rank convention as
      * the exact-sort percentile it replaced (rank = floor(q*(n-1)+0.5))
-     * and returns the upper edge of the rank's bucket clamped to the
-     * observed max — monotone in q, never exceeds max(), and within one
-     * bucket width above the exact order statistic.
+     * and interpolates the rank's position within its bucket (assuming
+     * samples spread uniformly across the bucket) instead of returning
+     * the bucket's upper edge, then clamps to the tracked [min, max].
+     * Monotone in q; the exact order statistic lies in the same bucket,
+     * so the estimate is always within one bucket width of it.
      */
     uint64_t percentile(double q) const;
 
@@ -72,6 +79,7 @@ private:
     std::atomic<uint64_t> count_{0};
     std::atomic<uint64_t> sum_{0};
     std::atomic<uint64_t> max_{0};
+    std::atomic<uint64_t> min_{UINT64_MAX};
 };
 
 /**

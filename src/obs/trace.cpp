@@ -94,6 +94,17 @@ TraceRecorder::record(const TraceEvent &ev)
     Lane &ln = lanes_[laneForThisThread()];
     const uint64_t slot = ln.cursor.fetch_add(1, std::memory_order_relaxed);
     ln.ring[slot % cfg_.capacityPerLane] = ev;
+    // First wrap anywhere: warn once so a truncated trace is never
+    // silently analyzed as complete.  The flag is set before warning —
+    // the log hook re-enters record() to stamp the warning itself, and
+    // must not recurse into a second warn.
+    if (slot >= cfg_.capacityPerLane &&
+        !wrapWarned_.exchange(true, std::memory_order_relaxed)) {
+        C2M_WARN("trace ring wrapped: oldest events are being "
+                 "overwritten (capacity ",
+                 cfg_.capacityPerLane,
+                 " per lane); trace export will be truncated");
+    }
 }
 
 uint64_t
@@ -174,7 +185,8 @@ constexpr uint32_t kFabricPidOffset = 1000;
 void
 pushEvent(std::vector<ChromeEvent> &out, uint64_t &seq, const char *ph,
           const char *name, uint32_t pid, uint32_t tid, double tsUs,
-          uint64_t arg, uint64_t arg2, EventKind kind)
+          uint64_t arg, uint64_t arg2, EventKind kind,
+          double fabricDeltaNs = -1.0)
 {
     std::string j = "{\"ph\":\"";
     j += ph;
@@ -184,7 +196,14 @@ pushEvent(std::vector<ChromeEvent> &out, uint64_t &seq, const char *ph,
     std::snprintf(buf, sizeof(buf),
                   "\",\"pid\":%u,\"tid\":%u,\"ts\":%.3f", pid, tid, tsUs);
     j += buf;
-    if (kind == EventKind::Counter) {
+    if (fabricDeltaNs >= 0.0) {
+        // Modeled fabric time consumed by the closing span, so JSON
+        // consumers (tools/trace_analyze) recover per-span fabric
+        // deltas without the fabric-clock mirror track.
+        std::snprintf(buf, sizeof(buf),
+                      ",\"args\":{\"fabric_ns\":%.3f}", fabricDeltaNs);
+        j += buf;
+    } else if (kind == EventKind::Counter) {
         std::snprintf(buf, sizeof(buf),
                       ",\"args\":{\"value\":%llu}",
                       static_cast<unsigned long long>(arg));
@@ -264,13 +283,16 @@ exportChromeTrace(const TraceRecorder &rec)
                 if (stack.empty())
                     break;  // orphan end: begin lost to ring wrap
                 const TraceEvent &b = stack.back().ev;
+                const bool stamped =
+                    b.fabricNs > 0 && ev.fabricNs >= b.fabricNs;
                 notePid(pid);
                 pushEvent(events, seq, "B", b.name, pid, tid,
                           static_cast<double>(b.hostNs) / 1000.0, 0, 0,
                           EventKind::SpanBegin);
                 pushEvent(events, seq, "E", b.name, pid, tid, tsUs, 0, 0,
-                          EventKind::SpanEnd);
-                if (b.fabricNs > 0 && ev.fabricNs >= b.fabricNs) {
+                          EventKind::SpanEnd,
+                          stamped ? ev.fabricNs - b.fabricNs : -1.0);
+                if (stamped) {
                     const uint32_t fpid = pid + kFabricPidOffset;
                     notePid(fpid);
                     pushEvent(events, seq, "B", b.name, fpid, tid,

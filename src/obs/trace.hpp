@@ -122,6 +122,7 @@ private:
     std::atomic<uint32_t> nextLane_{0};
     std::chrono::steady_clock::time_point epoch_;
     uint64_t generation_;  // distinguishes recorders for thread-local lanes
+    std::atomic<bool> wrapWarned_{false};  // one-shot ring-wrap warning
 };
 
 namespace detail {

@@ -225,6 +225,8 @@ Scrubber::sweepShard(core::C2MEngine &eng, ShardState &st,
     const unsigned groups = engine_.config().numGroups;
     ScrubStats d;
     d.sweeps = 1;
+    cim::AttrScope attr(eng.backend().opStatsRef(),
+                        cim::FabricCat::Scrub);
     const double ns0 = eng.backend().opStats().fabricNs;
     const uint32_t track =
         static_cast<uint32_t>(&st - shards_.data());
@@ -371,6 +373,8 @@ Scrubber::rebaseShard(unsigned s)
     engine_.runShardTask(
         s, [this, s, groups](core::C2MEngine &eng, size_t) {
             auto &st = shards_[s];
+            cim::AttrScope attr(eng.backend().opStatsRef(),
+                                cim::FabricCat::Scrub);
             st.journal.clear();
             for (unsigned g = 0; g < groups; ++g) {
                 eng.drain(g);

@@ -335,7 +335,16 @@ VirtualCounterSpace::maintain()
             if (cfg_.recordPhysicalOps)
                 physLog_.insert(physLog_.end(), matOps_.begin(),
                                 matOps_.end());
-            engine_.runShardOps(fr.shard, matOps_);
+            {
+                // runShardOps executes on this thread; the scope
+                // pins every materialization op's fabric charge —
+                // including the nested plan/fallback path — to the
+                // virt ledger row.
+                cim::AttrScope attr(
+                    engine_.shard(fr.shard).backend().opStatsRef(),
+                    cim::FabricCat::VirtMaterialize);
+                engine_.runShardOps(fr.shard, matOps_);
+            }
             if (scrub_)
                 scrub_->noteBatch(matOps_);
         }
@@ -418,6 +427,8 @@ VirtualCounterSpace::spillFrame(int32_t f,
         traceRec->spanBegin("virt.spill", fr.shard, ns0);
     engine_.runShardTask(
         fr.shard, [&](core::C2MEngine &eng, size_t) {
+            cim::AttrScope attr(eng.backend().opStatsRef(),
+                                cim::FabricCat::VirtSpill);
             if (!g.image)
                 g.image = std::make_unique<reliability::RowMirror>(
                     eng.backend().layout(
@@ -482,6 +493,8 @@ VirtualCounterSpace::restoreImage(uint32_t gi,
         traceRec->spanBegin("virt.restore", fr.shard, ns0);
     engine_.runShardTask(
         fr.shard, [&](core::C2MEngine &eng, size_t) {
+            cim::AttrScope attr(eng.backend().opStatsRef(),
+                                cim::FabricCat::VirtRestore);
             BitVector row(engine_.shardWidth(fr.shard));
             BitVector bits(cfg_.groupSize);
             for (unsigned rep = 0; rep < eng.numReplicas(); ++rep) {

@@ -46,6 +46,17 @@ countOccurrences(const std::string &hay, const std::string &needle)
     return n;
 }
 
+struct CapturedLog
+{
+    std::vector<std::pair<LogLevel, std::string>> lines;
+};
+
+void
+captureSink(void *ctx, LogLevel lvl, const char *msg)
+{
+    static_cast<CapturedLog *>(ctx)->lines.emplace_back(lvl, msg);
+}
+
 } // namespace
 
 // ---------------------------------------------------------------------
@@ -70,8 +81,9 @@ TEST(ObsHistogram, SingleSampleIsExact)
     EXPECT_EQ(h.count(), 1u);
     EXPECT_EQ(h.sum(), 37u);
     EXPECT_EQ(h.max(), 37u);
+    EXPECT_EQ(h.min(), 37u);
     // Every quantile of a one-sample distribution is that sample: the
-    // bucket upper edge is clamped to the observed max.
+    // in-bucket interpolation is clamped to the tracked [min, max].
     EXPECT_EQ(h.percentile(0.0), 37u);
     EXPECT_EQ(h.percentile(0.5), 37u);
     EXPECT_EQ(h.percentile(0.99), 37u);
@@ -157,8 +169,14 @@ TEST(ObsHistogram, PercentileAgreesWithExactWithinOneBucket)
         const uint32_t b = LogHistogram::bucketIndex(truth);
         const uint64_t width =
             LogHistogram::bucketHi(b) - LogHistogram::bucketLo(b);
-        EXPECT_GE(est, truth) << "q=" << q;
-        EXPECT_LT(est - truth, width) << "q=" << q;
+        // Interpolation estimates within the truth's bucket, so the
+        // error is two-sided and strictly under one bucket width (the
+        // old upper-edge return was biased a full octave high at
+        // sub-bucket boundaries).
+        const uint64_t err = est > truth ? est - truth : truth - est;
+        EXPECT_LT(err, width) << "q=" << q;
+        EXPECT_GE(est, h.min()) << "q=" << q;
+        EXPECT_LE(est, h.max()) << "q=" << q;
     }
 }
 
@@ -206,6 +224,7 @@ TEST(ObsHistogram, ClearResetsEverything)
     EXPECT_EQ(h.count(), 0u);
     EXPECT_EQ(h.sum(), 0u);
     EXPECT_EQ(h.max(), 0u);
+    EXPECT_EQ(h.min(), 0u);
     EXPECT_EQ(h.percentile(0.99), 0u);
 }
 
@@ -257,19 +276,32 @@ TEST(ObsTraceRecorder, RecordsEventsInOrder)
 
 TEST(ObsTraceRecorder, RingOverwritesOldestAndCountsDrops)
 {
+    CapturedLog cap;
+    resetLogRateLimiter();
+    setLogSink(&captureSink, &cap); // keep test output clean
     TraceRecorder rec(TraceConfig{1, 8});
     rec.install();
     for (uint64_t i = 0; i < 20; ++i)
         rec.instant("tick", 0, i);
     rec.uninstall();
+    setLogSink(nullptr, nullptr);
 
-    EXPECT_EQ(rec.eventCount(), 20u);
-    EXPECT_EQ(rec.droppedEvents(), 12u);
+    // The first wrap fires a one-shot warning, which the log hook
+    // records as a 21st event (a log.warn instant) — truncation is
+    // never silent.
+    ASSERT_EQ(cap.lines.size(), 1u);
+    EXPECT_NE(cap.lines[0].second.find("trace ring wrapped"),
+              std::string::npos);
+    EXPECT_EQ(rec.eventCount(), 21u);
+    EXPECT_EQ(rec.droppedEvents(), 13u);
     const auto evs = rec.laneSnapshot(0);
     ASSERT_EQ(evs.size(), 8u);
-    // Oldest-first snapshot of the retained tail: args 12..19.
+    // Oldest-first snapshot of the retained tail: args 12..19 (the
+    // log.warn instant slotted in mid-stream and was itself
+    // overwritten by later ticks).
     for (size_t i = 0; i < evs.size(); ++i)
         EXPECT_EQ(evs[i].arg, 12 + i);
+    resetLogRateLimiter();
 }
 
 TEST(ObsTraceRecorder, ScopedSpanNoopsWhenDisabled)
@@ -379,21 +411,6 @@ TEST(ObsServiceTrace, IngestEpochsEmitDrainSpans)
 
 // ---------------------------------------------------------------------
 // Pluggable log sink + rate limiting
-
-namespace {
-
-struct CapturedLog
-{
-    std::vector<std::pair<LogLevel, std::string>> lines;
-};
-
-void
-captureSink(void *ctx, LogLevel lvl, const char *msg)
-{
-    static_cast<CapturedLog *>(ctx)->lines.emplace_back(lvl, msg);
-}
-
-} // namespace
 
 TEST(ObsLogSink, CapturesAndRestores)
 {
@@ -524,14 +541,38 @@ TEST(ObsMetricsRegistry, PrometheusExportShape)
     h.record(20);
     const auto text = reg.renderPrometheus(reg.snapshot());
 
-    // Names sanitized to [a-zA-Z0-9_:].
-    EXPECT_NE(text.find("service_drain_p99 7"), std::string::npos);
+    // Names sanitized to [a-zA-Z0-9_:]; counters carry the
+    // OpenMetrics _total suffix.
+    EXPECT_NE(text.find("# TYPE service_drain_p99_total counter"),
+              std::string::npos);
+    EXPECT_NE(text.find("service_drain_p99_total 7"),
+              std::string::npos);
     EXPECT_NE(text.find("# TYPE drain_us histogram"),
               std::string::npos);
     EXPECT_NE(text.find("drain_us_bucket{le=\"+Inf\"} 2"),
               std::string::npos);
     EXPECT_NE(text.find("drain_us_sum 30"), std::string::npos);
     EXPECT_NE(text.find("drain_us_count 2"), std::string::npos);
+    // Quantile estimates ride along as a labeled gauge family.
+    EXPECT_NE(text.find("# TYPE drain_us_quantile gauge"),
+              std::string::npos);
+    EXPECT_NE(text.find("drain_us_quantile{quantile=\"0.99\"} "),
+              std::string::npos);
+    // Each family appears under exactly one # TYPE header.
+    EXPECT_EQ(countOccurrences(text, "# TYPE drain_us "), 1u);
+}
+
+TEST(ObsMetricsRegistry, PrometheusCollidingNamesAggregate)
+{
+    // Distinct dotted names that sanitize to one metric name must not
+    // produce duplicate # TYPE headers (promtool rejects that).
+    MetricsRegistry reg;
+    reg.addCounterSource("", [] {
+        return CounterMap{{"svc.drain.ns", 3}, {"svc.drain_ns", 4}};
+    });
+    const auto text = reg.renderPrometheus(reg.snapshot());
+    EXPECT_EQ(countOccurrences(text, "# TYPE svc_drain_ns_total"), 1u);
+    EXPECT_NE(text.find("svc_drain_ns_total 7"), std::string::npos);
 }
 
 // ---------------------------------------------------------------------

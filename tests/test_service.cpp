@@ -413,15 +413,15 @@ TEST(ServiceStatsCounters, SumsAndCoversEveryField)
 
 TEST(EngineStatsCounters, CoversEveryField)
 {
-    static_assert(sizeof(EngineStats) == 24 * sizeof(uint64_t),
+    static_assert(sizeof(EngineStats) == 33 * sizeof(uint64_t),
                   "EngineStats changed; update toCounters and this "
                   "test");
     const EngineStats s{1,  2,  3,  4,  5,  6,  7, 8,
                         9,  10, 11, 12, 13, 14, 15,
-                        {16, 17, 18, 19, 20, 21, 22.0, 23.0},
+                        {16, 17, 18, 19, 20, 21, 22.0, 23.0, {22.0}},
                         24.0};
     const auto m = s.toCounters();
-    EXPECT_EQ(m.size(), 24u);
+    EXPECT_EQ(m.size(), 32u);
     EXPECT_EQ(m.at("engine.inputs_accumulated"), 1u);
     EXPECT_EQ(m.at("engine.program_cache_misses"), 11u);
     EXPECT_EQ(m.at("engine.plans_executed"), 12u);
@@ -434,6 +434,14 @@ TEST(EngineStatsCounters, CoversEveryField)
     EXPECT_EQ(m.at("engine.fabric.ns"), 22u);
     EXPECT_EQ(m.at("engine.fabric.nj"), 23u);
     EXPECT_EQ(m.at("engine.fabric.critical_ns"), 24u);
+    EXPECT_EQ(m.at("engine.fabric.attr.plan"), 22u);
+    EXPECT_EQ(m.at("engine.fabric.attr.fallback"), 0u);
+    EXPECT_EQ(m.at("engine.fabric.attr.mask_write"), 0u);
+    EXPECT_EQ(m.at("engine.fabric.attr.scrub"), 0u);
+    EXPECT_EQ(m.at("engine.fabric.attr.virt_spill"), 0u);
+    EXPECT_EQ(m.at("engine.fabric.attr.virt_restore"), 0u);
+    EXPECT_EQ(m.at("engine.fabric.attr.virt_materialize"), 0u);
+    EXPECT_EQ(m.at("engine.fabric.attr.other"), 0u);
 }
 
 TEST(CounterMaps, MergeSumsMatchingKeys)

@@ -278,17 +278,20 @@ TEST(EngineStatsMerge, SumsEveryField)
 {
     // A new EngineStats field changes this size and fails here:
     // extend operator+= and the checks below together.
-    static_assert(sizeof(EngineStats) == 24 * sizeof(uint64_t),
+    static_assert(sizeof(EngineStats) == 33 * sizeof(uint64_t),
                   "EngineStats changed; update operator+= and this "
                   "test");
 
+    // fabricNs must equal sum(attrNs) (the ledger invariant), so the
+    // fixtures put their whole 22.0/220.0 into the plan row.
     EngineStats a{1,  2,  3,  4,  5,  6,  7, 8,
                   9,  10, 11, 12, 13, 14, 15,
-                  {16, 17, 18, 19, 20, 21, 22.0, 23.0},
+                  {16, 17, 18, 19, 20, 21, 22.0, 23.0, {22.0}},
                   24.0};
     const EngineStats b{10,  20,  30,  40,  50,  60,  70,  80,
                         90,  100, 110, 120, 130, 140, 150,
-                        {160, 170, 180, 190, 200, 210, 220.0, 230.0},
+                        {160, 170, 180, 190, 200, 210, 220.0, 230.0,
+                         {220.0}},
                         240.0};
     a += b;
     EXPECT_EQ(a.inputsAccumulated, 11u);
@@ -314,6 +317,12 @@ TEST(EngineStatsMerge, SumsEveryField)
     EXPECT_EQ(a.fabric.rowWrites, 231u);
     EXPECT_DOUBLE_EQ(a.fabric.fabricNs, 242.0);
     EXPECT_DOUBLE_EQ(a.fabric.fabricNj, 253.0);
+    EXPECT_DOUBLE_EQ(a.fabric.attr(cim::FabricCat::Plan), 242.0);
+    // Bit-exact ledger invariant survives the merge.
+    double ledger = 0.0;
+    for (double row : a.fabric.attrNs)
+        ledger += row;
+    EXPECT_EQ(ledger, a.fabric.fabricNs);
     // Critical path is a max over parallel contributors, not a sum.
     EXPECT_DOUBLE_EQ(a.fabricCriticalNs, 240.0);
 }

@@ -1,0 +1,100 @@
+// trace_analyze: offline critical-path reports from a Chrome trace
+// JSON file written by obs::writeChromeTrace.
+//
+// Usage: trace_analyze [--top N] [--span NAME] trace.json
+//
+// Prints three sections:
+//   1. top span families by total host time,
+//   2. per-track latency distribution of the drain span (--span),
+//   3. per-epoch critical-path profiles (phase breakdown, straggler
+//      shard, skew ratio, fabric utilization, planner decisions).
+// Exit codes: 0 ok, 1 bad usage, 2 unreadable/malformed input.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/json.hpp"
+#include "obs/analyze.hpp"
+#include "obs/profiler.hpp"
+
+namespace {
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--top N] [--span NAME] trace.json\n"
+                 "  --top N     span families to list (default 12)\n"
+                 "  --span NAME latency-report span (default "
+                 "shard.drain)\n",
+                 argv0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    size_t topN = 12;
+    std::string spanName = "shard.drain";
+    std::string path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--top") == 0 && i + 1 < argc) {
+            topN = static_cast<size_t>(std::atol(argv[++i]));
+        } else if (std::strcmp(argv[i], "--span") == 0 &&
+                   i + 1 < argc) {
+            spanName = argv[++i];
+        } else if (argv[i][0] == '-') {
+            usage(argv[0]);
+            return 1;
+        } else {
+            path = argv[i];
+        }
+    }
+    if (path.empty()) {
+        usage(argv[0]);
+        return 1;
+    }
+
+    c2m::json::Value doc;
+    std::string err;
+    if (!c2m::json::parseFile(path, doc, &err)) {
+        std::fprintf(stderr, "trace_analyze: %s: %s\n", path.c_str(),
+                     err.c_str());
+        return 2;
+    }
+    c2m::obs::ProfileInput in;
+    if (!c2m::obs::profileFromChromeJson(doc, in)) {
+        std::fprintf(stderr,
+                     "trace_analyze: %s: no traceEvents array\n",
+                     path.c_str());
+        return 2;
+    }
+
+    std::printf("# %s: %zu spans, %zu instants", path.c_str(),
+                in.spans.size(), in.instants.size());
+    if (in.eventCount > 0)
+        std::printf(" (%llu events recorded, %llu dropped)",
+                    static_cast<unsigned long long>(in.eventCount),
+                    static_cast<unsigned long long>(
+                        in.droppedEvents));
+    std::printf("\n\n## top span families (by total host time)\n%s",
+                c2m::obs::renderSpanFamilies(
+                    c2m::obs::topSpanFamilies(in, topN))
+                    .c_str());
+    std::printf("\n## %s latency by track\n%s", spanName.c_str(),
+                c2m::obs::renderTrackLatency(in, spanName).c_str());
+    std::printf("\n## epoch critical-path profiles\n%s",
+                c2m::obs::renderEpochProfiles(
+                    c2m::obs::buildEpochProfiles(in))
+                    .c_str());
+    if (in.droppedEvents > 0)
+        std::fprintf(stderr,
+                     "trace_analyze: warning: %llu events were "
+                     "dropped at record time; totals undercount\n",
+                     static_cast<unsigned long long>(
+                         in.droppedEvents));
+    return 0;
+}
