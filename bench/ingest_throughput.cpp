@@ -53,6 +53,7 @@
 
 #include "common/rng.hpp"
 #include "common/table.hpp"
+#include "core/gpu_model.hpp"
 #include "core/sharded.hpp"
 #include "obs/analyze.hpp"
 #include "obs/metrics.hpp"
@@ -447,6 +448,15 @@ main(int argc, char **argv)
                               static_cast<double>(lookups)
                         : 0.0;
             cells.push_back(cell);
+
+            // Heaviest contention cell: 16 producers racing into an
+            // 8-shard engine with coalescing and the hierarchical
+            // gang-issue drain both on — the configuration the
+            // merged planner exists for.
+            auto hot = runCell(dist, ops, reference, 8, 16, true,
+                               true);
+            all_match = all_match && hot.match;
+            cells.push_back(hot);
         }
     }
 
@@ -510,6 +520,15 @@ main(int argc, char **argv)
                     wd.at("evaluations")),
                 static_cast<unsigned long long>(wd.at("alerts")));
 
+    // Analytical GPU baseline on the same cost axis (Fig. 14): a
+    // bandwidth-bound scatter-add histogram of the same op stream,
+    // for eyeballing the fabric_ns columns against silicon.
+    const auto gpu = core::GpuModel::rtx3090ti().countingRun(
+        kNumOps, kNumCounters);
+    std::printf("gpu model (rtx3090ti) same counting run: %.1f us, "
+                "%.1f uJ\n",
+                gpu.ns / 1e3, gpu.nj / 1e3);
+
     if (std::FILE *f = std::fopen("BENCH_ingest.json", "w")) {
         std::fprintf(f,
                      "{\n  \"bench\": \"ingest_throughput\",\n"
@@ -520,6 +539,8 @@ main(int argc, char **argv)
                      "  \"plan_cache_hit_rate\": %.4f,\n"
                      "  \"all_match_serial_replay\": %s,\n"
                      "  \"all_ledger_exact\": %s,\n"
+                     "  \"gpu_model\": {\"name\": \"rtx3090ti\", "
+                     "\"fabric_ns\": %.1f, \"fabric_nj\": %.1f},\n"
                      "  \"watchdog_evaluations\": %llu,\n"
                      "  \"watchdog_alerts\": %llu,\n"
                      "  \"showcase\": {\"promotions\": %llu, "
@@ -529,6 +550,7 @@ main(int argc, char **argv)
                      kNumOps, kNumCounters, reduction, plan_reduction,
                      cache_hit_rate, all_match ? "true" : "false",
                      all_ledger ? "true" : "false",
+                     gpu.ns, gpu.nj,
                      static_cast<unsigned long long>(
                          wd.at("evaluations")),
                      static_cast<unsigned long long>(wd.at("alerts")),

@@ -24,9 +24,11 @@
  * JSON line per row (docs/observability.md).
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <limits>
 
 #include "common/rng.hpp"
 #include "common/table.hpp"
@@ -88,7 +90,7 @@ main(int argc, char **argv)
     cfg.numCounters = 32768;
     cfg.maxMaskRows = 1;
 
-    const size_t num_ops = 2000;
+    const size_t num_ops = 32768;
     Rng rng(99);
     std::vector<core::BatchOp> ops;
     ops.reserve(num_ops);
@@ -143,9 +145,21 @@ main(int argc, char **argv)
                 warm.push_back({eng.shardStart(s), 1, 0});
             eng.accumulateBatch(warm);
             eng.clear();
-            // Stats baseline after warm-up: the reported numbers
-            // must attribute only the measured batch, not the
-            // warm-up's per-op fallback activity.
+            // Wall time is best-of-5: planner-on cells drain in a
+            // few milliseconds, where one sample is at the mercy of
+            // thread wake-up jitter and the speedup gate below would
+            // flap. Four throwaway reps race the clock first,
+            // cleared between runs.
+            double best = std::numeric_limits<double>::infinity();
+            for (int rep = 0; rep < 4; ++rep) {
+                const auto tr0 = Clock::now();
+                eng.accumulateBatch(ops);
+                best = std::min(best, secondsSince(tr0));
+                eng.clear();
+            }
+            // Stats baseline after warm-up and timing reps: the
+            // reported numbers must attribute only the measured
+            // batch, not the per-op fallback activity before it.
             const auto st0 = eng.stats();
             std::vector<double> shard_fab0(shards);
             for (unsigned s = 0; s < shards; ++s)
@@ -155,7 +169,7 @@ main(int argc, char **argv)
 
             const auto t0 = Clock::now();
             eng.accumulateBatch(ops);
-            const double dt = secondsSince(t0);
+            const double dt = std::min(best, secondsSince(t0));
             const double rate = static_cast<double>(num_ops) / dt;
             const bool match = eng.readAllCounters() == reference;
             all_match = all_match && match;
@@ -257,6 +271,37 @@ main(int argc, char **argv)
     std::printf("fabric ledger bit-exact in every cell: %s\n",
                 all_ledger ? "yes" : "NO");
 
+    // Tentpole gates: the hierarchical drain plans once per group
+    // and gang-issues the slices, so plan attribution must stop
+    // scaling with the shard count (it was exactly Nx under the old
+    // per-shard replication) and the planner must no longer invert
+    // the 8-shard scaling curve.
+    double plan_attr_1 = 0.0, plan_attr_8 = 0.0;
+    double planner_speedup_8 = 0.0;
+    for (const auto &r : rows) {
+        if (!r.planner)
+            continue;
+        const double plan =
+            r.attrNs[static_cast<unsigned>(cim::FabricCat::Plan)];
+        if (r.shards == 1)
+            plan_attr_1 = plan;
+        if (r.shards == 8) {
+            plan_attr_8 = plan;
+            planner_speedup_8 = r.speedup;
+        }
+    }
+    const double plan_attr_ratio =
+        plan_attr_1 > 0.0 ? plan_attr_8 / plan_attr_1 : 0.0;
+    const bool plan_sublinear =
+        plan_attr_ratio > 0.0 && plan_attr_ratio < 4.0;
+    const bool planner_scales = planner_speedup_8 >= 1.0;
+    std::printf("8-shard plan attribution vs 1 shard: %.2fx "
+                "(need < 4x): %s\n",
+                plan_attr_ratio, plan_sublinear ? "yes" : "NO");
+    std::printf("8-shard planner-on speedup vs 1 shard: %.2fx "
+                "(need >= 1x): %s\n",
+                planner_speedup_8, planner_scales ? "yes" : "NO");
+
     // Analytical GPU baseline on the same cost axis (Fig. 14): a
     // bandwidth-bound scatter-add histogram of the same op stream.
     const auto gpu = core::GpuModel::rtx3090ti().countingRun(
@@ -274,11 +319,14 @@ main(int argc, char **argv)
                      "  \"num_ops\": %zu,\n"
                      "  \"num_counters\": %zu,\n"
                      "  \"all_match_serial_replay\": %s,\n"
+                     "  \"plan_attr_ratio_8v1\": %.3f,\n"
+                     "  \"planner_speedup_8\": %.3f,\n"
                      "  \"gpu_model\": {\"name\": \"rtx3090ti\", "
                      "\"fabric_ns\": %.1f, \"fabric_nj\": %.1f},\n"
                      "  \"results\": [\n",
                      core::backendName(cfg.backend), num_ops,
                      cfg.numCounters, all_match ? "true" : "false",
+                     plan_attr_ratio, planner_speedup_8,
                      gpu.ns, gpu.nj);
         for (size_t i = 0; i < rows.size(); ++i) {
             std::fprintf(
@@ -353,7 +401,8 @@ main(int argc, char **argv)
                         obs::buildEpochProfiles(prof))
                         .c_str());
     }
-    return (four_shard_ok && all_match && all_fabric && all_ledger)
+    return (four_shard_ok && all_match && all_fabric && all_ledger &&
+            plan_sublinear && planner_scales)
                ? 0
                : 1;
 }

@@ -50,10 +50,11 @@ enum class FabricCat : uint8_t
     VirtSpill,       ///< virt frame spill to backing store
     VirtRestore,     ///< virt frame restore from backing store
     VirtMaterialize, ///< virt region first-touch materialization
+    PlanFanout,      ///< follower-shard lockstep plan execution
     Other,           ///< everything else (default scope)
 };
 
-inline constexpr unsigned kFabricCatCount = 8;
+inline constexpr unsigned kFabricCatCount = 9;
 
 inline const char *
 fabricCatName(FabricCat c)
@@ -66,6 +67,7 @@ fabricCatName(FabricCat c)
     case FabricCat::VirtSpill: return "virt_spill";
     case FabricCat::VirtRestore: return "virt_restore";
     case FabricCat::VirtMaterialize: return "virt_materialize";
+    case FabricCat::PlanFanout: return "plan_fanout";
     case FabricCat::Other: return "other";
     }
     return "?";
@@ -96,6 +98,16 @@ struct OpStats
     uint64_t faultsInjected = 0; ///< total bits flipped by the model
     uint64_t rowReads = 0;       ///< host-level row reads
     uint64_t rowWrites = 0;      ///< host-level row writes
+    /**
+     * AAP/AP commands executed as lockstep followers of a merged
+     * drain plan (FabricCat::PlanFanout): the leader shard issues
+     * the plane program once and follower banks execute the same
+     * command stream in its issue slots, so these commands do not
+     * consume rank-window (tRRD/tFAW) issue bandwidth of their own.
+     * Always <= commands(); ShardedEngine subtracts them from the
+     * rank-floor term of the critical path.
+     */
+    uint64_t gangedCommands = 0;
     double fabricNs = 0.0;       ///< modeled serial fabric time
     double fabricNj = 0.0;       ///< modeled fabric energy
 
@@ -149,6 +161,7 @@ struct OpStats
         faultsInjected += o.faultsInjected;
         rowReads += o.rowReads;
         rowWrites += o.rowWrites;
+        gangedCommands += o.gangedCommands;
         fabricNj += o.fabricNj;
         for (unsigned i = 0; i < kFabricCatCount; ++i)
             attrNs[i] += o.attrNs[i];

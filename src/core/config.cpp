@@ -27,6 +27,7 @@ EngineStats::toCounters() const
         {"engine.program_cache_misses", programCacheMisses},
         {"engine.plans_executed", plansExecuted},
         {"engine.plan_programs", planPrograms},
+        {"engine.plan_lead_programs", planLeadPrograms},
         {"engine.planned_ops", plannedOps},
         {"engine.plan_fallback_ops", planFallbackOps},
         {"engine.fabric.aap", fabric.aap},
@@ -35,6 +36,7 @@ EngineStats::toCounters() const
         {"engine.fabric.faults_injected", fabric.faultsInjected},
         {"engine.fabric.row_reads", fabric.rowReads},
         {"engine.fabric.row_writes", fabric.rowWrites},
+        {"engine.fabric.ganged", fabric.gangedCommands},
         {"engine.fabric.ns", ns(fabric.fabricNs)},
         {"engine.fabric.nj", ns(fabric.fabricNj)},
         {"engine.fabric.critical_ns", ns(fabricCriticalNs)},
@@ -52,6 +54,8 @@ EngineStats::toCounters() const
          ns(fabric.attr(cim::FabricCat::VirtRestore))},
         {"engine.fabric.attr.virt_materialize",
          ns(fabric.attr(cim::FabricCat::VirtMaterialize))},
+        {"engine.fabric.attr.plan_fanout",
+         ns(fabric.attr(cim::FabricCat::PlanFanout))},
         {"engine.fabric.attr.other",
          ns(fabric.attr(cim::FabricCat::Other))},
     };

@@ -115,6 +115,13 @@ struct EngineStats
     uint64_t programCacheMisses = 0; ///< programs generated fresh
     uint64_t plansExecuted = 0;   ///< column-parallel plans applied
     uint64_t planPrograms = 0;    ///< masked plane increments issued
+    /**
+     * Plane increments this engine issued as a gang leader (or
+     * stand-alone). planPrograms - planLeadPrograms is the follower
+     * count: planes executed in lockstep under another shard's issue
+     * slot in a merged cross-shard plan.
+     */
+    uint64_t planLeadPrograms = 0;
     uint64_t plannedOps = 0;      ///< point updates folded into plans
     uint64_t planFallbackOps = 0; ///< ops that took the per-op path
 
@@ -158,6 +165,7 @@ struct EngineStats
         programCacheMisses += o.programCacheMisses;
         plansExecuted += o.plansExecuted;
         planPrograms += o.planPrograms;
+        planLeadPrograms += o.planLeadPrograms;
         plannedOps += o.plannedOps;
         planFallbackOps += o.planFallbackOps;
         fabric += o.fabric;

@@ -222,14 +222,21 @@ void
 C2MEngine::accumulatePlan(std::span<const MaskedStep> steps,
                           unsigned group, uint64_t folded_ops)
 {
+    std::vector<PlanRipple> pre, post;
+    planPrepare(steps, group, pre, post);
+    executePlan(steps, pre, post, group, folded_ops);
+}
+
+void
+C2MEngine::planPrepare(std::span<const MaskedStep> steps,
+                       unsigned group, std::vector<PlanRipple> &pre,
+                       std::vector<PlanRipple> &post)
+{
     C2M_ASSERT(group < cfg_.numGroups, "group out of range");
     C2M_ASSERT(cfg_.counting == CountMode::Kary,
                "drain plans require k-ary counting");
     C2M_ASSERT(!groupHasDecrements_[group],
                "drain plans require an unsigned-mode group");
-    ++stats_.plansExecuted;
-    stats_.plannedOps += folded_ops;
-    stats_.inputsAccumulated += folded_ops;
     if (steps.empty())
         return; // every folded delta was zero
 
@@ -237,6 +244,10 @@ C2MEngine::accumulatePlan(std::span<const MaskedStep> steps,
     // step per digit position (its own delta digit), so max k per
     // position upper-bounds every real counter's addition and the
     // scheduler headroom it prepares is sound for the whole plan.
+    // The profile is over THIS shard's planes only, so the scheduler
+    // advances exactly as it would under an independent per-shard
+    // plan — merged plans change who issues a ripple, never whether
+    // it happens.
     std::vector<unsigned> worst;
     for (const auto &s : steps) {
         C2M_ASSERT(s.k >= 1 && s.k < cfg_.radix,
@@ -249,32 +260,72 @@ C2MEngine::accumulatePlan(std::span<const MaskedStep> steps,
     C2M_ASSERT(worst.size() < backend_->numDigits(),
                "planned delta exceeds counter capacity");
 
-    const bool pending = backend_->caps().pendingFlags;
+    if (!backend_->caps().pendingFlags)
+        return;
     auto &sched = schedulers_[group];
+    for (unsigned d : sched.prepareAdd(worst))
+        pre.push_back({d, true});
+    sched.applyAdd(worst);
+    if (cfg_.ripple == RippleMode::FullRipple)
+        for (unsigned d : sched.fullPassDescending())
+            post.push_back({d, true});
+}
 
-    cim::AttrScope attr(backend_->opStatsRef(),
-                        cim::FabricCat::Plan);
-    if (pending) {
-        for (unsigned d : sched.prepareAdd(worst))
-            ripple(group, d);
-        sched.applyAdd(worst);
-    }
+void
+C2MEngine::executePlan(std::span<const MaskedStep> steps,
+                       std::span<const PlanRipple> pre,
+                       std::span<const PlanRipple> post,
+                       unsigned group, uint64_t folded_ops)
+{
+    ++stats_.plansExecuted;
+    stats_.plannedOps += folded_ops;
+    stats_.inputsAccumulated += folded_ops;
+    if (steps.empty())
+        return;
+
+    cim::OpStats &fab = backend_->opStatsRef();
+    cim::AttrScope attr(fab, cim::FabricCat::Plan);
+    const auto gangRipple = [&](const PlanRipple &r) {
+        if (r.lead) {
+            ripple(group, r.digit);
+            return;
+        }
+        cim::AttrScope fan(fab, cim::FabricCat::PlanFanout);
+        const uint64_t c0 = fab.commands();
+        ripple(group, r.digit);
+        fab.gangedCommands += fab.commands() - c0;
+    };
+
+    for (const auto &r : pre)
+        gangRipple(r);
 
     for (const auto &s : steps) {
         {
-            cim::AttrScope mrow(backend_->opStatsRef(),
-                                cim::FabricCat::MaskWrite);
+            // Mask rows hold per-shard plane slices, so the write is
+            // never ganged: MaskWrite stays honestly per shard.
+            cim::AttrScope mrow(fab, cim::FabricCat::MaskWrite);
             backend_->writeMask(s.maskHandle, *s.mask);
         }
-        incrementDigit(group, s.digit, s.k,
-                       maskRowIndex(s.maskHandle));
+        if (s.lead) {
+            incrementDigit(group, s.digit, s.k,
+                           maskRowIndex(s.maskHandle));
+            ++stats_.planLeadPrograms;
+        } else {
+            // Follower slice: the identical command stream executes
+            // in the lead shard's issue slots. ECC retries inside the
+            // checked execution stay under this scope — a follower
+            // retry is modeled as re-running in later gang slots.
+            cim::AttrScope fan(fab, cim::FabricCat::PlanFanout);
+            const uint64_t c0 = fab.commands();
+            incrementDigit(group, s.digit, s.k,
+                           maskRowIndex(s.maskHandle));
+            fab.gangedCommands += fab.commands() - c0;
+        }
         ++stats_.planPrograms;
     }
 
-    if (pending && cfg_.ripple == RippleMode::FullRipple) {
-        for (unsigned d : sched.fullPassDescending())
-            ripple(group, d);
-    }
+    for (const auto &r : post)
+        gangRipple(r);
 }
 
 void

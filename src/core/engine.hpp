@@ -56,6 +56,28 @@ struct MaskedStep
     unsigned k; ///< 1..radix-1
     unsigned maskHandle;
     const BitVector *mask;
+    /**
+     * Gang-issue role in a merged cross-shard plan: the lead shard of
+     * a (digit, k) plane issues the plane program and is charged
+     * FabricCat::Plan; follower shards execute the identical command
+     * stream in the leader's issue slots (same row indices — shard
+     * layouts only differ in column width) and are charged
+     * FabricCat::PlanFanout with their commands counted as ganged.
+     * Single-shard plans are all-lead.
+     */
+    bool lead = true;
+};
+
+/**
+ * One scheduled carry ripple of a drain plan, with the same
+ * gang-issue role as MaskedStep: per (digit, occurrence) across the
+ * shards of a merged plan, the first shard needing the ripple leads
+ * and the rest follow in lockstep.
+ */
+struct PlanRipple
+{
+    unsigned digit;
+    bool lead = true;
 };
 
 class C2MEngine
@@ -149,6 +171,37 @@ class C2MEngine
      */
     void accumulatePlan(std::span<const MaskedStep> steps,
                         unsigned group, uint64_t folded_ops);
+
+    /**
+     * Host-side bookkeeping half of accumulatePlan, split out so a
+     * hierarchical planner can prepare every shard's slice of a
+     * merged plan before any fabric work runs. Validates @p steps,
+     * builds the per-digit worst-case profile, advances the group's
+     * IARM scheduler (prepareAdd/applyAdd) and appends the ripples
+     * the plan owes to @p pre — plus, in FullRipple mode, the
+     * unconditional post-pass to @p post. Touches no fabric state;
+     * the caller decides each ripple's gang role and then runs
+     * executePlan. planPrepare + executePlan with the same arguments
+     * is exactly accumulatePlan.
+     */
+    void planPrepare(std::span<const MaskedStep> steps,
+                     unsigned group, std::vector<PlanRipple> &pre,
+                     std::vector<PlanRipple> &post);
+
+    /**
+     * Fabric half of a prepared plan: broadcast the @p pre ripples,
+     * write each step's plane mask into its persistent row and issue
+     * the masked increments, then the @p post full-ripple pass.
+     * Lead ripples/steps charge FabricCat::Plan (mask writes
+     * MaskWrite as usual); follower ones charge PlanFanout and count
+     * their AAP/AP commands as ganged — executed in lockstep under
+     * the lead shard's issue slots. @p folded_ops feeds
+     * plannedOps/inputsAccumulated exactly like accumulatePlan.
+     */
+    void executePlan(std::span<const MaskedStep> steps,
+                     std::span<const PlanRipple> pre,
+                     std::span<const PlanRipple> post, unsigned group,
+                     uint64_t folded_ops);
 
     /**
      * True once the group has seen a decrement: pending flags are

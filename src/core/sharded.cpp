@@ -105,6 +105,15 @@ ShardedEngine::ShardedEngine(const EngineConfig &cfg,
         planIncNs_ = planIncrementNs(cfg);
     }
     reservedMasks_ = kPlaneBase + planePool_;
+    // The reserved handles are ADDITIVE on top of the public budget
+    // (each shard is configured with cfg.maxMaskRows + reservedMasks_
+    // rows below): a workload config with maxMaskRows as low as 1
+    // (dna, sparsity) still gets its full public row count, and the
+    // planner keeps its point/plane rows regardless of how small the
+    // public budget is. Guard the plane pool so a refactor of the
+    // reservation scheme cannot silently starve the plan path.
+    C2M_ASSERT(!planned || planePool_ > 0,
+               "drain planner reserved no plane rows");
 
     const bool nvm = cfg.backend == BackendKind::NvmPinatubo ||
                      cfg.backend == BackendKind::NvmMagic;
@@ -185,26 +194,19 @@ void
 ShardedEngine::runShardOps(unsigned s, std::span<const BatchOp> ops)
 {
     C2M_ASSERT(s < numShards(), "shard index out of range: ", s);
-    for (const auto &op : ops)
-        C2M_ASSERT(op.counter >= starts_[s] &&
-                       op.counter < starts_[s + 1],
-                   "counter ", op.counter, " not owned by shard ", s);
     // Whole-bucket stealing keeps shards single-writer; two threads
     // inside one shard means a scheduler bug above this layer.
     C2M_ASSERT(!shardBusy_[s].exchange(true,
                                        std::memory_order_acquire),
                "concurrent writers on shard ", s);
-    // The drain span carries the shard's cumulative modeled fabric
-    // clock on both edges, so the fabric-clock track shows how much
-    // fabric time this bucket consumed.
-    obs::TraceRecorder *tr = obs::tracer();
-    if (tr)
-        tr->spanBegin("shard.drain", s,
-                      shards_[s]->stats().fabric.fabricNs);
-    runShardBatch(s, ops);
-    if (tr)
-        tr->spanEnd("shard.drain", s,
-                    shards_[s]->stats().fabric.fabricNs);
+    // One-bucket degenerate case of the epoch pipeline: the merged
+    // stage-3 decision over a single shard reduces exactly to the
+    // classic per-shard plan-vs-fallback comparison, so this path is
+    // bit- and stats-identical to planning the bucket in isolation.
+    prepareShardParts(s, ops);
+    const unsigned self[1] = {s};
+    planParts(self);
+    execShardParts(s);
     shardBusy_[s].store(false, std::memory_order_release);
 }
 
@@ -221,21 +223,39 @@ ShardedEngine::runShardTask(
 }
 
 void
-ShardedEngine::runShardBatch(unsigned s, std::span<const BatchOp> ops)
+ShardedEngine::prepareShardParts(unsigned s,
+                                 std::span<const BatchOp> ops)
 {
+    auto &sc = scratch_[s];
+    sc.partsUsed = 0;
     if (ops.empty())
         return;
-    if (!cfg_.drainPlanner) {
-        runShardSerial(s, ops);
-        return;
-    }
-    if (cfg_.counting != CountMode::Kary) {
-        // Unit counting has no k-ary planes; with the planner on
-        // these ops still count as fallback so the accounting
-        // invariant plannedOps + planFallbackOps == batched ops
-        // holds for metric consumers.
-        shards_[s]->notePlanFallback(ops.size());
-        runShardSerial(s, ops);
+    for (const auto &op : ops)
+        C2M_ASSERT(op.counter >= starts_[s] &&
+                       op.counter < starts_[s + 1],
+                   "counter ", op.counter, " not owned by shard ", s);
+    const auto newPart = [&sc]() -> PlanPart & {
+        if (sc.partsUsed == sc.parts.size())
+            sc.parts.emplace_back();
+        PlanPart &p = sc.parts[sc.partsUsed++];
+        p.own.clear();
+        p.touched.clear();
+        p.steps.clear();
+        p.pre.clear();
+        p.post.clear();
+        p.fallbackNs = 0.0;
+        p.planned = false;
+        return p;
+    };
+    // Planner off, or Unit counting (no k-ary planes): the bucket
+    // stays one serial part in its original op order. With the
+    // planner on these ops still count as fallback at execution so
+    // the invariant plannedOps + planFallbackOps == batched ops
+    // holds for metric consumers.
+    if (!cfg_.drainPlanner || cfg_.counting != CountMode::Kary) {
+        PlanPart &p = newPart();
+        p.group = ops.front().group;
+        p.ops = ops;
         return;
     }
     // Common case first: the whole bucket targets one group.
@@ -246,30 +266,124 @@ ShardedEngine::runShardBatch(unsigned s, std::span<const BatchOp> ops)
             break;
         }
     if (single_group) {
-        runGroupPlanned(s, ops.front().group, ops);
+        PlanPart &p = newPart();
+        p.group = ops.front().group;
+        p.ops = ops;
+    } else {
+        // Partition by group (first-appearance order, per-group op
+        // order preserved); groups hold independent counter state,
+        // so draining them one after another cannot change any
+        // value.
+        for (const auto &op : ops) {
+            size_t i = 0;
+            while (i < sc.partsUsed && sc.parts[i].group != op.group)
+                ++i;
+            if (i == sc.partsUsed) {
+                PlanPart &p = newPart();
+                p.group = op.group;
+            }
+            sc.parts[i].own.push_back(op);
+        }
+        for (size_t i = 0; i < sc.partsUsed; ++i)
+            sc.parts[i].ops = sc.parts[i].own;
+    }
+    for (size_t i = 0; i < sc.partsUsed; ++i)
+        analyzePart(s, sc.parts[i]);
+}
+
+void
+ShardedEngine::analyzePart(unsigned s, PlanPart &part)
+{
+    C2MEngine &eng = *shards_[s];
+    auto &sc = scratch_[s];
+    // Signed-mode groups keep pending flags fully resolved per op;
+    // a plan would defer them, so those parts replay per-op.
+    if (eng.signedMode(part.group))
+        return;
+
+    // Sum each counter's delta (first-occurrence order). A negative
+    // op means serial replay could enter signed mode mid-bucket —
+    // fall back so the op-for-op state machine stays bit-identical.
+    sc.index.clear();
+    sc.sums.clear();
+    const size_t lo = starts_[s];
+    for (const auto &op : part.ops) {
+        if (op.value < 0)
+            return;
+        const uint64_t col = op.counter - lo;
+        const auto [it, inserted] =
+            sc.index.try_emplace(col, sc.sums.size());
+        if (inserted)
+            sc.sums.emplace_back(static_cast<size_t>(col), op.value);
+        else
+            sc.sums[it->second].second += op.value;
+    }
+
+    // Build the digit planes: counter col joins plane (d, k) iff its
+    // summed delta has digit k at position d. The top digit is the
+    // guard per-value increments never touch (only ripples carry
+    // into it), so a summed delta reaching it cannot be planned —
+    // replay the raw ops instead, which stay per-value in range.
+    const unsigned R = cfg_.radix;
+    const unsigned D = eng.backend().numDigits();
+    if (part.planes.empty()) {
+        part.planes.assign(static_cast<size_t>(D) * (R - 1),
+                           BitVector(shardWidth(s)));
+        part.planeUsed.assign(part.planes.size(), 0);
+    }
+    bool over_capacity = false;
+    for (const auto &[col, delta] : sc.sums) {
+        uint64_t v = static_cast<uint64_t>(delta);
+        unsigned pos = 0;
+        while (v != 0) {
+            const unsigned k = static_cast<unsigned>(v % R);
+            v /= R;
+            if (k != 0) {
+                if (pos + 1 >= D) {
+                    over_capacity = true;
+                    break;
+                }
+                const size_t idx =
+                    static_cast<size_t>(pos) * (R - 1) + (k - 1);
+                if (!part.planeUsed[idx]) {
+                    part.planeUsed[idx] = 1;
+                    part.planes[idx].fill(false);
+                    part.touched.push_back(
+                        static_cast<uint32_t>(idx));
+                }
+                part.planes[idx].set(col, true);
+            }
+            ++pos;
+        }
+        if (over_capacity)
+            break;
+    }
+    for (const uint32_t idx : part.touched)
+        part.planeUsed[idx] = 0;
+    if (over_capacity) {
+        part.touched.clear();
         return;
     }
-    // Partition by group (first-appearance order, per-group op order
-    // preserved); groups hold independent counter state, so planning
-    // them one after another cannot change any value.
-    auto &sc = scratch_[s];
-    for (auto &part : sc.parts)
-        part.second.clear();
-    size_t used = 0;
-    for (const auto &op : ops) {
-        size_t p = 0;
-        while (p < used && sc.parts[p].first != op.group)
-            ++p;
-        if (p == used) {
-            if (p == sc.parts.size())
-                sc.parts.emplace_back();
-            sc.parts[p].first = op.group;
-            ++used;
+
+    // Price the per-op replay alternative over the RAW ops — one
+    // increment program per nonzero digit of each original value
+    // plus a point-mask rewrite per counter switch — so a hot key
+    // hit N times costs ~N program chains per-op but shares one
+    // plane set once summed. The merged stage-3 decision compares
+    // the sum of these against ONE global plan.
+    size_t prev_col = std::numeric_limits<size_t>::max();
+    for (const auto &op : part.ops) {
+        const size_t col = static_cast<size_t>(op.counter) - lo;
+        if (col != prev_col) {
+            part.fallbackNs += sc.maskWriteNs;
+            prev_col = col;
         }
-        sc.parts[p].second.push_back(op);
+        for (uint64_t v = static_cast<uint64_t>(op.value); v != 0;
+             v /= R)
+            if (const unsigned k = static_cast<unsigned>(v % R))
+                part.fallbackNs += planIncNs_[k];
     }
-    for (size_t p = 0; p < used; ++p)
-        runGroupPlanned(s, sc.parts[p].first, sc.parts[p].second);
+    part.planned = true;
 }
 
 void
@@ -305,142 +419,231 @@ ShardedEngine::runShardSerial(unsigned s,
 }
 
 void
-ShardedEngine::runGroupPlanned(unsigned s, uint32_t group,
-                               std::span<const BatchOp> ops)
+ShardedEngine::planParts(std::span<const unsigned> shard_ids)
 {
-    C2MEngine &eng = *shards_[s];
-    auto &sc = scratch_[s];
-    // Signed-mode groups keep pending flags fully resolved per op;
-    // a plan would defer them, so those buckets replay per-op.
-    if (eng.signedMode(group)) {
-        eng.notePlanFallback(ops.size());
-        runShardSerial(s, ops);
-        return;
-    }
-
-    // Sum each counter's delta (first-occurrence order). A negative
-    // op means serial replay could enter signed mode mid-bucket —
-    // fall back so the op-for-op state machine stays bit-identical.
-    sc.index.clear();
-    sc.sums.clear();
-    const size_t lo = starts_[s];
-    bool negative = false;
-    for (const auto &op : ops) {
-        if (op.value < 0) {
-            negative = true;
-            break;
-        }
-        const uint64_t col = op.counter - lo;
-        const auto [it, inserted] =
-            sc.index.try_emplace(col, sc.sums.size());
-        if (inserted)
-            sc.sums.emplace_back(static_cast<size_t>(col), op.value);
-        else
-            sc.sums[it->second].second += op.value;
-    }
-    if (negative) {
-        eng.notePlanFallback(ops.size());
-        runShardSerial(s, ops);
-        return;
-    }
-
-    // Build the digit planes: counter col joins plane (d, k) iff its
-    // summed delta has digit k at position d. The top digit is the
-    // guard per-value increments never touch (only ripples carry
-    // into it), so a summed delta reaching it cannot be planned —
-    // replay the raw ops instead, which stay per-value in range.
     const unsigned R = cfg_.radix;
-    const unsigned D = eng.backend().numDigits();
-    if (sc.planes.empty()) {
-        sc.planes.assign(static_cast<size_t>(D) * (R - 1),
-                         BitVector(shardWidth(s)));
-        sc.planeUsed.assign(sc.planes.size(), 0);
-    }
-    sc.touched.clear();
-    bool over_capacity = false;
-    for (const auto &[col, delta] : sc.sums) {
-        uint64_t v = static_cast<uint64_t>(delta);
-        unsigned pos = 0;
-        while (v != 0) {
-            const unsigned k = static_cast<unsigned>(v % R);
-            v /= R;
-            if (k != 0) {
-                if (pos + 1 >= D) {
-                    over_capacity = true;
-                    break;
-                }
-                const size_t idx =
-                    static_cast<size_t>(pos) * (R - 1) + (k - 1);
-                if (!sc.planeUsed[idx]) {
-                    sc.planeUsed[idx] = 1;
-                    sc.planes[idx].fill(false);
-                    sc.touched.push_back(static_cast<uint32_t>(idx));
-                }
-                sc.planes[idx].set(col, true);
-            }
-            ++pos;
-        }
-        if (over_capacity)
-            break;
-    }
-    for (const uint32_t idx : sc.touched)
-        sc.planeUsed[idx] = 0;
-
-    // Cost both alternatives on the modeled fabric-time axis and
-    // keep the cheaper one (the write-combining trade is a cost
-    // comparison, not a program count). The fallback replays the RAW
-    // ops — one increment program per nonzero digit of each original
-    // value plus a point-mask rewrite per counter switch — so a hot
-    // key hit N times costs ~N program chains per-op but shares one
-    // plane set once summed. The plan pays one mask-row write plus
-    // one increment per touched plane.
-    double fallback_ns = 0.0;
-    {
-        size_t prev_col = std::numeric_limits<size_t>::max();
-        for (const auto &op : ops) {
-            const size_t col =
-                static_cast<size_t>(op.counter) - lo;
-            if (col != prev_col) {
-                fallback_ns += sc.maskWriteNs;
-                prev_col = col;
-            }
-            for (uint64_t v = static_cast<uint64_t>(op.value);
-                 v != 0; v /= R)
-                if (const unsigned k =
-                        static_cast<unsigned>(v % R))
-                    fallback_ns += planIncNs_[k];
+    // Distinct groups, shard-major first-appearance order.
+    std::vector<uint32_t> groups;
+    for (const unsigned s : shard_ids) {
+        const auto &sc = scratch_[s];
+        for (size_t i = 0; i < sc.partsUsed; ++i) {
+            const uint32_t g = sc.parts[i].group;
+            if (std::find(groups.begin(), groups.end(), g) ==
+                groups.end())
+                groups.push_back(g);
         }
     }
-    double plan_ns = 0.0;
-    for (const uint32_t idx : sc.touched)
-        plan_ns += sc.maskWriteNs + planIncNs_[idx % (R - 1) + 1];
-    if (over_capacity || plan_ns >= fallback_ns) {
-        // The priced ns that justified the decision ride along:
-        // arg = plan price, arg2 = per-op replay price.
+    std::vector<std::pair<unsigned, PlanPart *>> cand;
+    std::vector<uint32_t> union_planes;
+    std::unordered_map<uint32_t, unsigned> plane_lead;
+    std::unordered_map<unsigned, unsigned> issued, occ;
+    for (const uint32_t g : groups) {
+        // Gather this group's plan candidates across all shards.
+        // Every plane in the union is issued ONCE, by the lowest
+        // shard holding it (the gang leader); each candidate shard
+        // still pays its own mask-row slice writes.
+        cand.clear();
+        union_planes.clear();
+        plane_lead.clear();
+        double fallback_ns = 0.0;
+        double plan_ns = 0.0;
+        for (const unsigned s : shard_ids) {
+            auto &sc = scratch_[s];
+            for (size_t i = 0; i < sc.partsUsed; ++i) {
+                PlanPart &p = sc.parts[i];
+                if (p.group != g || !p.planned)
+                    continue;
+                cand.emplace_back(s, &p);
+                fallback_ns += p.fallbackNs;
+                plan_ns += static_cast<double>(p.touched.size()) *
+                           sc.maskWriteNs;
+                for (const uint32_t idx : p.touched) {
+                    plane_lead.try_emplace(idx, s);
+                    union_planes.push_back(idx);
+                }
+            }
+        }
+        if (cand.empty())
+            continue;
+        std::sort(union_planes.begin(), union_planes.end());
+        union_planes.erase(std::unique(union_planes.begin(),
+                                       union_planes.end()),
+                           union_planes.end());
+        for (const uint32_t idx : union_planes)
+            plan_ns += planIncNs_[idx % (R - 1) + 1];
+        // All-or-nothing commit on the merged prices. At one shard
+        // this is exactly the classic per-shard comparison. The
+        // priced ns that justified the decision ride along on the
+        // lead shard's track: arg = plan price, arg2 = replay price.
+        const unsigned lead_shard = cand.front().first;
+        if (plan_ns >= fallback_ns) {
+            if (auto *t = obs::tracer())
+                t->instant(
+                    "plan.fallback", lead_shard,
+                    static_cast<uint64_t>(std::llround(plan_ns)),
+                    static_cast<uint64_t>(std::llround(fallback_ns)));
+            for (auto &[s, p] : cand)
+                p->planned = false;
+            continue;
+        }
         if (auto *t = obs::tracer())
-            t->instant("plan.fallback", s,
-                       static_cast<uint64_t>(std::llround(plan_ns)),
-                       static_cast<uint64_t>(
-                           std::llround(fallback_ns)));
-        eng.notePlanFallback(ops.size());
-        runShardSerial(s, ops);
+            t->instant(
+                "plan.commit", lead_shard,
+                static_cast<uint64_t>(std::llround(plan_ns)),
+                static_cast<uint64_t>(std::llround(fallback_ns)));
+        // Slice the merged plan back: deterministic plane order
+        // (ascending digit, k) per shard; each plane lands in its
+        // persistent mask row so its cached program key is stable
+        // across epochs. IARM preparation uses each shard's OWN
+        // worst profile, so scheduler state — and therefore every
+        // ripple — is bit-identical to independent per-shard plans.
+        for (auto &[s, p] : cand) {
+            std::sort(p->touched.begin(), p->touched.end());
+            for (const uint32_t idx : p->touched)
+                p->steps.push_back(
+                    {static_cast<unsigned>(idx / (R - 1)),
+                     static_cast<unsigned>(idx % (R - 1)) + 1,
+                     planeHandle(idx), &p->planes[idx],
+                     plane_lead[idx] == s});
+            shards_[s]->planPrepare(p->steps, g, p->pre, p->post);
+        }
+        // Gang the scheduled ripples per (digit, occurrence): the
+        // first shard needing the j-th ripple of digit d leads it,
+        // later shards' j-th occurrences ride its issue slot. Ripple
+        // programs depend only on (group, digit), so the command
+        // streams are identical across shards.
+        const auto gangRipples = [&](const bool post_pass) {
+            issued.clear();
+            for (auto &[s, p] : cand) {
+                (void)s;
+                occ.clear();
+                for (PlanRipple &r : post_pass ? p->post : p->pre) {
+                    const unsigned j = occ[r.digit]++;
+                    unsigned &lead = issued[r.digit];
+                    if (j < lead) {
+                        r.lead = false;
+                    } else {
+                        r.lead = true;
+                        lead = j + 1;
+                    }
+                }
+            }
+        };
+        gangRipples(false);
+        gangRipples(true);
+    }
+}
+
+void
+ShardedEngine::execShardParts(unsigned s)
+{
+    auto &sc = scratch_[s];
+    C2MEngine &eng = *shards_[s];
+    // The drain span carries the shard's cumulative modeled fabric
+    // clock on both edges, so the fabric-clock track shows how much
+    // fabric time this bucket consumed.
+    obs::TraceRecorder *tr = obs::tracer();
+    if (tr)
+        tr->spanBegin("shard.drain", s, eng.stats().fabric.fabricNs);
+    for (size_t i = 0; i < sc.partsUsed; ++i) {
+        PlanPart &p = sc.parts[i];
+        if (p.planned) {
+            eng.executePlan(p.steps, p.pre, p.post, p.group,
+                            p.ops.size());
+        } else {
+            // Demoted or ineligible parts replay per-op; with the
+            // planner on they count as fallback so plannedOps +
+            // planFallbackOps == batched ops holds.
+            if (cfg_.drainPlanner)
+                eng.notePlanFallback(p.ops.size());
+            runShardSerial(s, p.ops);
+        }
+    }
+    if (tr)
+        tr->spanEnd("shard.drain", s, eng.stats().fabric.fabricNs);
+}
+
+void
+ShardedEngine::forEachBucket(
+    std::span<const EpochBucket> buckets, bool stealing,
+    uint64_t *steals_out,
+    const std::function<void(const EpochBucket &)> &fn)
+{
+    if (pool_.size() == 0) {
+        for (const EpochBucket &b : buckets)
+            fn(b);
         return;
     }
-    if (auto *t = obs::tracer())
-        t->instant("plan.commit", s,
-                   static_cast<uint64_t>(std::llround(plan_ns)),
-                   static_cast<uint64_t>(std::llround(fallback_ns)));
+    if (!stealing) {
+        for (const EpochBucket &b : buckets)
+            pool_.post(b.shard, [&fn, &b] { fn(b); });
+        pool_.drain();
+        return;
+    }
+    // Work stealing: a claim loop on every lane pops whole buckets
+    // off a shared index, so an idle lane picks up a busy lane's
+    // next shard instead of waiting behind it. Per-shard order stays
+    // fixed (one bucket per shard per call), only placement moves.
+    std::atomic<size_t> next{0};
+    std::atomic<uint64_t> steals{0};
+    const unsigned lanes = static_cast<unsigned>(
+        std::min<size_t>(pool_.size(), buckets.size()));
+    for (unsigned l = 0; l < lanes; ++l)
+        pool_.post(l, [&] {
+            const unsigned lane = pool_.currentLane();
+            for (;;) {
+                const size_t i =
+                    next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= buckets.size())
+                    return;
+                const EpochBucket &b = buckets[i];
+                if (b.shard % pool_.size() != lane)
+                    steals.fetch_add(1, std::memory_order_relaxed);
+                fn(b);
+            }
+        });
+    pool_.drain();
+    if (steals_out)
+        *steals_out += steals.load(std::memory_order_relaxed);
+}
 
-    // Deterministic plane order: ascending (digit, k). Each plane
-    // lands in its persistent mask row so its cached program key is
-    // stable across epochs.
-    std::sort(sc.touched.begin(), sc.touched.end());
-    sc.steps.clear();
-    for (const uint32_t idx : sc.touched)
-        sc.steps.push_back({static_cast<unsigned>(idx / (R - 1)),
-                            static_cast<unsigned>(idx % (R - 1)) + 1,
-                            planeHandle(idx), &sc.planes[idx]});
-    eng.accumulatePlan(sc.steps, group, ops.size());
+void
+ShardedEngine::runEpoch(std::span<const EpochBucket> buckets,
+                        bool stealing, uint64_t *steals_out)
+{
+    if (buckets.empty())
+        return;
+    // Stage 1+2 — combine + count (host-only, parallel): partition
+    // each bucket by group, sum deltas, build plane histograms.
+    forEachBucket(buckets, stealing, nullptr,
+                  [this](const EpochBucket &b) {
+                      C2M_ASSERT(
+                          !shardBusy_[b.shard].exchange(
+                              true, std::memory_order_acquire),
+                          "concurrent writers on shard ", b.shard);
+                      prepareShardParts(b.shard, b.ops);
+                      shardBusy_[b.shard].store(
+                          false, std::memory_order_release);
+                  });
+    // Stage 3 — merged scan/offset + gang leadership (host-serial;
+    // no stage-1/4 task in flight, so scratch access is exclusive).
+    std::vector<unsigned> ids;
+    ids.reserve(buckets.size());
+    for (const EpochBucket &b : buckets)
+        ids.push_back(b.shard);
+    planParts(ids);
+    // Stage 4 — execute the plane slices (parallel). Only this stage
+    // counts steals: it is the one doing fabric work.
+    forEachBucket(buckets, stealing, steals_out,
+                  [this](const EpochBucket &b) {
+                      C2M_ASSERT(
+                          !shardBusy_[b.shard].exchange(
+                              true, std::memory_order_acquire),
+                          "concurrent writers on shard ", b.shard);
+                      execShardParts(b.shard);
+                      shardBusy_[b.shard].store(
+                          false, std::memory_order_release);
+                  });
 }
 
 void
@@ -449,14 +652,14 @@ ShardedEngine::accumulateBatch(std::span<const BatchOp> ops)
     std::vector<std::vector<BatchOp>> buckets(numShards());
     for (const auto &op : ops)
         buckets[shardOf(op.counter)].push_back(op);
-    for (unsigned s = 0; s < numShards(); ++s) {
-        if (buckets[s].empty())
-            continue;
-        pool_.post(s, [this, s, bucket = std::move(buckets[s])] {
-            runShardOps(s, bucket);
-        });
-    }
-    pool_.drain();
+    // One epoch through the hierarchical pipeline: cross-shard plane
+    // programs gang-issue instead of replicating per shard.
+    std::vector<EpochBucket> eb;
+    eb.reserve(buckets.size());
+    for (unsigned s = 0; s < numShards(); ++s)
+        if (!buckets[s].empty())
+            eb.push_back({s, buckets[s]});
+    runEpoch(eb, /*stealing=*/true);
 }
 
 void
@@ -544,10 +747,15 @@ ShardedEngine::stats() const
     // issue rate no matter how many banks run (Sec. 7.2.1) — take
     // the tighter of the two bounds. NVM crossbars are independent
     // arrays with no rank window, so the per-shard max stands.
+    // Ganged follower commands execute inside their leader's issue
+    // slots (one ACTIVATE broadcast drives every participating
+    // bank), so they do not occupy rank-window slots of their own
+    // and leave the floor.
     if (cfg_.backend == BackendKind::Ambit ||
         cfg_.backend == BackendKind::Rca) {
         const double rank_floor =
-            static_cast<double>(merged.fabric.commands()) *
+            static_cast<double>(merged.fabric.commands() -
+                                merged.fabric.gangedCommands) *
             cfg_.dramTimings.issueIntervalNs(numShards());
         if (rank_floor > merged.fabricCriticalNs)
             merged.fabricCriticalNs = rank_floor;

@@ -42,6 +42,35 @@
  * DramTimings) does not beat per-op replay fall back to the serial
  * path; either path yields bit-identical counter values.
  *
+ * Hierarchical (global-then-sliced) planning — runEpoch(): draining
+ * one bucket per shard through runShardOps replicates every plane
+ * program N times, which makes plan fabric time exactly linear in
+ * shard count. runEpoch instead runs the classic radix-count stage
+ * split over ALL buckets of an epoch:
+ *
+ *   1. combine — per shard (parallel, host-only): partition the
+ *      bucket by group and sum each counter's delta;
+ *   2. count — per shard (same pass): decompose the sums into one
+ *      per-(digit, k) plane histogram;
+ *   3. scan/offset — host-serial: merge the per-shard histograms
+ *      into ONE global plan per group, price plan-vs-fallback on the
+ *      merged plan, and slice it back: for every (digit, k) plane
+ *      the lowest shard holding it becomes the gang LEADER that
+ *      issues the plane program (FabricCat::Plan); the other shards
+ *      execute the identical command stream in the leader's issue
+ *      slots as FOLLOWERS (FabricCat::PlanFanout, commands counted
+ *      as ganged). Per-shard IARM preparation runs here, host-side,
+ *      with the same per-shard worst profiles independent plans
+ *      would use, so scheduler state is bit-identical either way;
+ *   4. execute — per shard (parallel): each shard writes its own
+ *      plane-mask slices (never ganged) and executes its slice of
+ *      the merged plan.
+ *
+ * Ganged follower commands ride the leader's rank-window slots, so
+ * stats() excludes them from the tFAW/tRRD rank floor: plan fabric
+ * attribution becomes sublinear in shard count while the ledger
+ * stays bit-exact (the fan-out cost is visible in its own row).
+ *
  * Results are bit-identical to a single C2MEngine over the full
  * counter space on the same op stream (columns are independent in the
  * Ambit simulation), and independent of the thread count: per-shard
@@ -116,6 +145,32 @@ class ShardedEngine
     void accumulateBatch(std::span<const BatchOp> ops);
 
     /**
+     * One shard's coalesced ops for an epoch drain: at most one
+     * bucket per shard, ops all owned by that shard. The spans must
+     * stay valid for the duration of the runEpoch call.
+     */
+    struct EpochBucket
+    {
+        unsigned shard;
+        std::span<const BatchOp> ops;
+    };
+
+    /**
+     * Drain one epoch's buckets through the hierarchical radix-count
+     * pipeline (see the file comment): parallel combine/count per
+     * bucket, one merged scan/offset plan per group priced globally
+     * and sliced back with gang-issue roles, then parallel sliced
+     * execution. @p stealing selects the claim loop (any lane may
+     * run any bucket's stage task) over pinned lanes; stolen
+     * execute-stage tasks are added to @p steals_out when non-null.
+     * Counter results are bit-identical to draining each bucket
+     * through runShardOps, and to replaySerial on the concatenated
+     * op stream.
+     */
+    void runEpoch(std::span<const EpochBucket> buckets, bool stealing,
+                  uint64_t *steals_out = nullptr);
+
+    /**
      * Execute a ready bucket of point updates, all owned by shard
      * @p s, on the calling thread in bucket order. This is the seam
      * the async ingest drainer schedules through: any thread may run
@@ -178,41 +233,94 @@ class ShardedEngine
     static constexpr unsigned kMaxPlaneRows = 64;
 
     /**
+     * One group's slice of a shard bucket, carried through the epoch
+     * pipeline: stage 1/2 fill ops/sums-derived planes, stage 3
+     * decides `planned` and fills steps/pre/post with gang roles,
+     * stage 4 executes. Reused across epochs so the steady-state
+     * drain path performs no per-op allocation (plane masks are
+     * lazily sized once per part, D x (R-1) shard-width rows).
+     */
+    struct PlanPart
+    {
+        uint32_t group = 0;
+        /**
+         * Ops of this part: a view into the caller's bucket on the
+         * single-group fast path, into `own` when a bucket had to be
+         * partitioned by group.
+         */
+        std::span<const BatchOp> ops;
+        std::vector<BatchOp> own; ///< backing store (multi-group)
+        /** Plane masks, indexed digit * (R-1) + (k-1). */
+        std::vector<BitVector> planes;
+        std::vector<uint8_t> planeUsed; ///< build-pass dirty flags
+        std::vector<uint32_t> touched;  ///< plane indices this plan
+        std::vector<MaskedStep> steps;  ///< stage-3 sliced program
+        std::vector<PlanRipple> pre;    ///< scheduled IARM ripples
+        std::vector<PlanRipple> post;   ///< FullRipple post-pass
+        /** Modeled ns of replaying this part's RAW ops per-op. */
+        double fallbackNs = 0.0;
+        /** Plan candidate after stage 2; final verdict after 3. */
+        bool planned = false;
+    };
+
+    /**
      * Per-shard planner workspace. Reused across buckets so the
-     * steady-state drain path performs no per-op allocation: plane
-     * masks are lazily sized once (D x (R-1) shard-width rows), the
-     * point mask is updated two bits at a time, and the delta
-     * accumulator map keeps its capacity between epochs. Guarded by
-     * the shard's single-writer discipline like the engine itself.
+     * steady-state drain path performs no per-op allocation: the
+     * point mask is updated two bits at a time, the delta accumulator
+     * map and the part list keep their capacity between epochs.
+     * Guarded by the shard's single-writer discipline like the
+     * engine itself — except stage 3, which runs host-serial across
+     * all shards of an epoch with no stage-1/4 task in flight.
      */
     struct PlannerScratch
     {
         BitVector pointMask; ///< reusable single-bit point mask
         size_t pointCol;     ///< column currently set in pointMask
-        /** Plane masks, indexed digit * (R-1) + (k-1). */
-        std::vector<BitVector> planes;
-        std::vector<uint32_t> touched; ///< plane indices this plan
-        std::vector<MaskedStep> steps;
-        std::vector<uint8_t> planeUsed; ///< per-plane dirty flag
-        /** Coalesced per-counter delta sums of the current group. */
+        /** Coalesced per-counter delta sums of the current part. */
         std::unordered_map<uint64_t, size_t> index;
         std::vector<std::pair<size_t, int64_t>> sums;
-        /** Group partition of multi-group buckets (rare path). */
-        std::vector<std::pair<uint32_t, std::vector<BatchOp>>> parts;
+        /** Group partition of this shard's bucket, parts[0..used). */
+        std::vector<PlanPart> parts;
+        size_t partsUsed = 0;
         /** Modeled ns to rewrite one of this shard's mask rows. */
         double maskWriteNs = 0.0;
     };
 
-    void runShardBatch(unsigned s, std::span<const BatchOp> ops);
+    /**
+     * Pipeline stages 1+2 for one shard (host-only, no fabric work):
+     * partition @p ops by group, then per part sum each counter's
+     * delta, build the per-(digit, k) plane histogram and price the
+     * per-op replay alternative. Caller holds the shard's
+     * single-writer guard.
+     */
+    void prepareShardParts(unsigned s, std::span<const BatchOp> ops);
+    /** Stage 2 for one part: delta sums, planes, fallback price. */
+    void analyzePart(unsigned s, PlanPart &part);
+    /**
+     * Stage 3 (host-serial): for every distinct group across
+     * @p shard_ids, price ONE merged plan (union of planes, leader
+     * issue slots) against the summed per-part replay price, commit
+     * or demote all candidate parts together, slice the plan back
+     * per shard with gang-issue roles, and run each committed
+     * shard's IARM preparation.
+     */
+    void planParts(std::span<const unsigned> shard_ids);
+    /**
+     * Stage 4 for one shard: execute each part's plan slice, or
+     * replay it per-op, inside the shard.drain trace span. Caller
+     * holds the shard's single-writer guard.
+     */
+    void execShardParts(unsigned s);
     /** Per-op replay of @p ops through the shard's point mask. */
     void runShardSerial(unsigned s, std::span<const BatchOp> ops);
     /**
-     * Plan and execute one group's ops column-parallel; falls back
-     * to runShardSerial when the group is signed-mode, the bucket
-     * has negative deltas, or a plan would not beat per-op replay.
+     * Run @p fn once per bucket on the pool and drain: pinned to each
+     * bucket's home lane, or through a work-stealing claim loop.
      */
-    void runGroupPlanned(unsigned s, uint32_t group,
-                         std::span<const BatchOp> ops);
+    void forEachBucket(
+        std::span<const EpochBucket> buckets, bool stealing,
+        uint64_t *steals_out,
+        const std::function<void(const EpochBucket &)> &fn);
     /** Run @p fn(shard) on every shard in parallel, then drain. */
     template <typename Fn> void forEachShard(Fn &&fn);
 
@@ -239,7 +347,7 @@ class ShardedEngine
      * Modeled ns of one masked k-ary increment program, indexed by
      * k (entry 0 unused): C2mCostModel command counts (RcaCostModel
      * for the RCA backend) priced at the substrate's per-command ns.
-     * Drives the plan-vs-fallback decision in runGroupPlanned.
+     * Drives the merged plan-vs-fallback decision in planParts.
      */
     std::vector<double> planIncNs_;
     ThreadPool pool_;

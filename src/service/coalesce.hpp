@@ -23,9 +23,15 @@
  * deltas, which are far below the 2^63 boundary.
  *
  * Coalescing is the planner's feeder: the coalesced bucket is what
- * ShardedEngine's digit-plane drain planner decomposes into shared
- * (digit, k) plane masks, turning the per-epoch op list into at most
- * D*(R-1) column-parallel fabric programs per group.
+ * ShardedEngine's drain pipeline decomposes into shared (digit, k)
+ * plane masks, turning the per-epoch op list into at most D*(R-1)
+ * column-parallel fabric programs per group.
+ *
+ * Two entry points: the scratch-based overload is the epoch hot path
+ * — a software write-combining buffer (dense open-addressing table
+ * with epoch stamps) that allocates nothing in steady state; the
+ * convenience overload owns a throwaway scratch for one-shot callers
+ * (stop()-time stragglers, tests).
  */
 
 #include <cstdint>
@@ -44,6 +50,34 @@ struct CoalesceResult
     /** Input ops eliminated by merging or zero-sum elision. */
     uint64_t merged = 0;
 };
+
+/**
+ * Reusable write-combining table: open addressing over (counter,
+ * group) keys with per-slot epoch stamps, so clearing between epochs
+ * is a single counter bump instead of a table wipe. Sized to the
+ * next power of two >= 2x the bucket, grown only when a bigger
+ * bucket arrives; one scratch per drain lane (IngestService keeps
+ * one per shard) keeps the epoch hot path allocation-free.
+ */
+struct CoalesceScratch
+{
+    std::vector<uint64_t> counters; ///< key: logical counter index
+    std::vector<uint32_t> groups;   ///< key: counter group
+    std::vector<uint32_t> slots;    ///< value: index into result ops
+    std::vector<uint32_t> stamps;   ///< slot live iff == epoch
+    uint32_t epoch = 0;
+    size_t mask = 0; ///< table size - 1 (power of two)
+};
+
+/**
+ * Write-combining coalesce of @p ops into @p out (cleared first),
+ * reusing @p scratch across calls. Identical contract to the
+ * convenience overload: surviving ops keep first-occurrence order,
+ * zero-sum counters are elided, out.merged counts eliminated input
+ * ops.
+ */
+void coalesceOps(std::span<const core::BatchOp> ops,
+                 CoalesceScratch &scratch, CoalesceResult &out);
 
 CoalesceResult coalesceOps(std::span<const core::BatchOp> ops);
 

@@ -61,6 +61,7 @@ IngestService::IngestService(core::ShardedEngine &engine,
     dynamicMinDrainOps_.store(std::max<size_t>(1, cfg_.minDrainOps),
                               std::memory_order_relaxed);
     lastShardEpoch_.assign(engine_.numShards(), 0);
+    coalesceScratch_.resize(engine_.numShards());
     for (unsigned s = 0; s < engine_.numShards(); ++s)
         queues_.push_back(std::make_unique<BoundedOpQueue>(
             cfg_.queueCapacity, cfg_.backpressure,
@@ -371,8 +372,12 @@ IngestService::runEpoch(uint64_t epoch)
     es.epochs = 1;
     if (cfg_.coalesce) {
         obs::ScopedSpan co_span("epoch.coalesce", obs::kServiceTrack);
+        // Per-shard write-combining tables persist across epochs, so
+        // the steady-state coalesce pass allocates only the output
+        // vector it hands to the bucket.
+        CoalesceResult r;
         for (auto &b : buckets) {
-            auto r = coalesceOps(b.ops);
+            coalesceOps(b.ops, coalesceScratch_[b.shard], r);
             es.coalesced += r.merged;
             b.ops = std::move(r.ops);
         }
@@ -483,43 +488,18 @@ IngestService::executeEpoch(uint64_t epoch,
                    "bucket reorder on shard ", b.shard);
         lastShardEpoch_[b.shard] = epoch;
     }
-    core::ThreadPool &pool = engine_.pool();
-    if (pool.size() == 0) {
-        for (const auto &b : buckets)
-            engine_.runShardOps(b.shard, b.ops);
-        return;
-    }
-    if (!cfg_.workStealing) {
-        for (const auto &b : buckets)
-            pool.post(b.shard, [this, &b] {
-                engine_.runShardOps(b.shard, b.ops);
-            });
-        pool.drain();
-        return;
-    }
-    // Work stealing: a claim loop on every lane pops whole ready
-    // buckets off a shared index, so an idle lane picks up a busy
-    // lane's next shard instead of waiting behind it.
-    std::atomic<size_t> next{0};
-    std::atomic<uint64_t> steals{0};
-    const unsigned lanes = static_cast<unsigned>(
-        std::min<size_t>(pool.size(), buckets.size()));
-    for (unsigned l = 0; l < lanes; ++l)
-        pool.post(l, [&] {
-            const unsigned lane = pool.currentLane();
-            for (;;) {
-                const size_t i =
-                    next.fetch_add(1, std::memory_order_relaxed);
-                if (i >= buckets.size())
-                    return;
-                const Bucket &b = buckets[i];
-                if (b.shard % pool.size() != lane)
-                    steals.fetch_add(1, std::memory_order_relaxed);
-                engine_.runShardOps(b.shard, b.ops);
-            }
-        });
-    pool.drain();
-    epoch_stats.steals += steals.load(std::memory_order_relaxed);
+    // One call per epoch into the engine's hierarchical drain
+    // pipeline: per-shard combine/count stages run on the lane pool
+    // (pinned or stolen per cfg_.workStealing), the merged
+    // scan/offset plan is priced globally, and cross-shard plane
+    // programs gang-issue instead of replicating per shard.
+    std::vector<core::ShardedEngine::EpochBucket> eb;
+    eb.reserve(buckets.size());
+    for (const auto &b : buckets)
+        eb.push_back({b.shard, b.ops});
+    uint64_t steals = 0;
+    engine_.runEpoch(eb, cfg_.workStealing, &steals);
+    epoch_stats.steals += steals;
 }
 
 size_t

@@ -12,16 +12,19 @@
  *   1. cut: every shard queue's pending ops are swapped out (each
  *      cut is a FIFO prefix of that shard's submissions);
  *   2. coalesce: per shard, duplicate (counter, group) deltas are
- *      summed so a hot counter costs one fabric update per epoch;
- *   3. execute: per-shard buckets run on the engine's lane pool —
- *      either pinned to their home lane, or (workStealing) claimed
- *      whole by whichever lane is free, so one skewed shard cannot
- *      serialize the epoch behind busy lanes. With the engine's
- *      drain planner on (EngineConfig::drainPlanner, default), each
- *      bucket executes as column-parallel digit planes — at most
- *      D*(R-1) masked fabric programs per group per epoch instead
- *      of one program sequence per op; ServiceStats::plans* sample
- *      the per-epoch planner activity.
+ *      summed through a per-shard write-combining scratch table so a
+ *      hot counter costs one fabric update per epoch;
+ *   3. execute: the epoch's buckets run through the engine's
+ *      hierarchical drain pipeline (ShardedEngine::runEpoch) on the
+ *      lane pool — stage tasks either pinned to their home lane, or
+ *      (workStealing) claimed by whichever lane is free, so one
+ *      skewed shard cannot serialize the epoch behind busy lanes.
+ *      With the engine's drain planner on
+ *      (EngineConfig::drainPlanner, default), the epoch executes as
+ *      ONE merged set of column-parallel digit planes, gang-issued
+ *      across shards — at most D*(R-1) leader fabric programs per
+ *      group per epoch instead of one replicated plan per shard;
+ *      ServiceStats::plans* sample the per-epoch planner activity.
  *
  * Ordering and consistency:
  *  - Per (producer, shard), ops apply in submission order; a
@@ -58,6 +61,7 @@
 #include "common/stats.hpp"
 #include "core/sharded.hpp"
 #include "obs/metrics.hpp"
+#include "service/coalesce.hpp"
 #include "service/queue.hpp"
 
 namespace c2m {
@@ -334,6 +338,8 @@ class IngestService
     mutable std::mutex engineMutex_;
     /** Drainer-only: last epoch executed per shard (FIFO assert). */
     std::vector<uint64_t> lastShardEpoch_;
+    /** Drainer-only: per-shard write-combining coalesce tables. */
+    std::vector<CoalesceScratch> coalesceScratch_;
 
     std::thread drainer_;
 };

@@ -23,6 +23,13 @@
  * entirely from the cache — the ~99% batch-path hit rate survives
  * column-parallel execution instead of being diluted by per-plane
  * mask rows.
+ *
+ * The hierarchical drain's gang issue preserves this: a merged plan
+ * slices each union (digit, k) plane across shards, but every slice
+ * targets the same row indices in its own shard (shards differ only
+ * in column count), so leader and follower executions alike replay
+ * the shard-local cached program — merging plans across shards never
+ * introduces new keys.
  */
 
 #include <cstdint>

@@ -10,11 +10,14 @@
 
 #include <atomic>
 #include <thread>
+#include <unordered_map>
 
 #include "common/rng.hpp"
 #include "core/sharded.hpp"
+#include "reliability/scrubber.hpp"
 #include "service/coalesce.hpp"
 #include "service/ingest.hpp"
+#include "virt/virtspace.hpp"
 #include "workloads/dna.hpp"
 #include "workloads/sparsity.hpp"
 
@@ -311,6 +314,78 @@ TEST(Ingest, WorkStealingOnFullySkewedBatch)
     }
 }
 
+TEST(Ingest, SixteenProducersEightShardsBitExact)
+{
+    // The heaviest contention cell the benches run: 16 producers
+    // racing into an 8-shard engine with the hierarchical drain
+    // pipeline (merged gang-issued plans) active end to end.
+    const auto cfg = baseConfig(256);
+    const auto ops = randomOps(4096, cfg.numCounters, 23, true);
+
+    auto pcfg = cfg;
+    pcfg.drainPlanner = true;
+    ShardedEngine engine(pcfg, 8);
+    IngestService svc(engine);
+    EXPECT_EQ(service::submitConcurrent(svc, ops, 16), ops.size());
+    EXPECT_EQ(svc.readCounters(), core::replaySerial(cfg, ops));
+
+    // Every batched op is accounted exactly once by the planner, and
+    // the attribution ledger (including the plan_fanout row gang
+    // followers charge) stays bit-exact under full concurrency.
+    const auto sst = svc.serviceStats();
+    const auto est = svc.engineStats();
+    EXPECT_EQ(sst.plannedOps + sst.planFallbackOps, sst.flushedOps);
+    EXPECT_LE(est.planLeadPrograms, est.planPrograms);
+    EXPECT_LE(est.fabric.gangedCommands, est.fabric.commands());
+    double ledger = 0.0;
+    for (double row : est.fabric.attrNs)
+        ledger += row;
+    EXPECT_EQ(ledger, est.fabric.fabricNs);
+}
+
+TEST(Ingest, ScrubAndVirtStayExactThroughEpochPipeline)
+{
+    // Scrub sweeps and virt spill/restore traffic ride the same
+    // engine the pipeline drains; with every key promoted to the
+    // exact tier, spill round trips under frame pressure must
+    // preserve bit-exact values and a bit-exact ledger.
+    auto cfg = baseConfig(128);
+    cfg.drainPlanner = true;
+    ShardedEngine engine(cfg, 4);
+    IngestService svc(engine);
+    reliability::Scrubber scrub(engine);
+    virt::VirtConfig vcfg;
+    vcfg.groupSize = 16;          // 8 frames
+    vcfg.promoteThreshold = 1;    // every key exact on first sight
+    vcfg.restoreOpThreshold = 8;
+    virt::VirtualCounterSpace space(svc, vcfg);
+    space.attachScrubber(&scrub);
+
+    Rng rng(67);
+    std::unordered_map<uint64_t, int64_t> expect;
+    for (size_t i = 0; i < 20000; ++i) {
+        const uint64_t key = 1 + rng.nextBounded(300);
+        const int64_t v = static_cast<int64_t>(1 + rng.nextBounded(3));
+        space.add(key, v);
+        expect[key] += v;
+    }
+    space.flush();
+
+    EXPECT_GT(space.stats().spills, 0u);
+    EXPECT_GT(scrub.stats().sweeps, 0u);
+    for (const auto &[key, want] : expect)
+        ASSERT_EQ(space.read(key), want) << "key " << key;
+
+    svc.stop();
+    const auto est = svc.engineStats();
+    double ledger = 0.0;
+    for (double row : est.fabric.attrNs)
+        ledger += row;
+    EXPECT_EQ(ledger, est.fabric.fabricNs);
+    EXPECT_GT(est.fabric.attr(cim::FabricCat::Scrub), 0.0);
+    EXPECT_GT(est.fabric.attr(cim::FabricCat::VirtSpill), 0.0);
+}
+
 TEST(Ingest, FlushTokensOnIdleServiceResolveImmediately)
 {
     const auto cfg = baseConfig(32);
@@ -413,34 +488,38 @@ TEST(ServiceStatsCounters, SumsAndCoversEveryField)
 
 TEST(EngineStatsCounters, CoversEveryField)
 {
-    static_assert(sizeof(EngineStats) == 33 * sizeof(uint64_t),
+    static_assert(sizeof(EngineStats) == 36 * sizeof(uint64_t),
                   "EngineStats changed; update toCounters and this "
                   "test");
-    const EngineStats s{1,  2,  3,  4,  5,  6,  7, 8,
-                        9,  10, 11, 12, 13, 14, 15,
-                        {16, 17, 18, 19, 20, 21, 22.0, 23.0, {22.0}},
-                        24.0};
+    const EngineStats s{1,  2,  3,  4,  5,  6,  7,  8,
+                        9,  10, 11, 12, 13, 14, 15, 16,
+                        {17, 18, 19, 20, 21, 22, 23, 24.0, 25.0,
+                         {24.0}},
+                        26.0};
     const auto m = s.toCounters();
-    EXPECT_EQ(m.size(), 32u);
+    EXPECT_EQ(m.size(), 35u);
     EXPECT_EQ(m.at("engine.inputs_accumulated"), 1u);
     EXPECT_EQ(m.at("engine.program_cache_misses"), 11u);
     EXPECT_EQ(m.at("engine.plans_executed"), 12u);
     EXPECT_EQ(m.at("engine.plan_programs"), 13u);
-    EXPECT_EQ(m.at("engine.planned_ops"), 14u);
-    EXPECT_EQ(m.at("engine.plan_fallback_ops"), 15u);
-    EXPECT_EQ(m.at("engine.fabric.aap"), 16u);
-    EXPECT_EQ(m.at("engine.fabric.faults_injected"), 19u);
-    EXPECT_EQ(m.at("engine.fabric.row_writes"), 21u);
-    EXPECT_EQ(m.at("engine.fabric.ns"), 22u);
-    EXPECT_EQ(m.at("engine.fabric.nj"), 23u);
-    EXPECT_EQ(m.at("engine.fabric.critical_ns"), 24u);
-    EXPECT_EQ(m.at("engine.fabric.attr.plan"), 22u);
+    EXPECT_EQ(m.at("engine.plan_lead_programs"), 14u);
+    EXPECT_EQ(m.at("engine.planned_ops"), 15u);
+    EXPECT_EQ(m.at("engine.plan_fallback_ops"), 16u);
+    EXPECT_EQ(m.at("engine.fabric.aap"), 17u);
+    EXPECT_EQ(m.at("engine.fabric.faults_injected"), 20u);
+    EXPECT_EQ(m.at("engine.fabric.row_writes"), 22u);
+    EXPECT_EQ(m.at("engine.fabric.ganged"), 23u);
+    EXPECT_EQ(m.at("engine.fabric.ns"), 24u);
+    EXPECT_EQ(m.at("engine.fabric.nj"), 25u);
+    EXPECT_EQ(m.at("engine.fabric.critical_ns"), 26u);
+    EXPECT_EQ(m.at("engine.fabric.attr.plan"), 24u);
     EXPECT_EQ(m.at("engine.fabric.attr.fallback"), 0u);
     EXPECT_EQ(m.at("engine.fabric.attr.mask_write"), 0u);
     EXPECT_EQ(m.at("engine.fabric.attr.scrub"), 0u);
     EXPECT_EQ(m.at("engine.fabric.attr.virt_spill"), 0u);
     EXPECT_EQ(m.at("engine.fabric.attr.virt_restore"), 0u);
     EXPECT_EQ(m.at("engine.fabric.attr.virt_materialize"), 0u);
+    EXPECT_EQ(m.at("engine.fabric.attr.plan_fanout"), 0u);
     EXPECT_EQ(m.at("engine.fabric.attr.other"), 0u);
 }
 

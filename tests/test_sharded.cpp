@@ -278,21 +278,21 @@ TEST(EngineStatsMerge, SumsEveryField)
 {
     // A new EngineStats field changes this size and fails here:
     // extend operator+= and the checks below together.
-    static_assert(sizeof(EngineStats) == 33 * sizeof(uint64_t),
+    static_assert(sizeof(EngineStats) == 36 * sizeof(uint64_t),
                   "EngineStats changed; update operator+= and this "
                   "test");
 
     // fabricNs must equal sum(attrNs) (the ledger invariant), so the
-    // fixtures put their whole 22.0/220.0 into the plan row.
-    EngineStats a{1,  2,  3,  4,  5,  6,  7, 8,
-                  9,  10, 11, 12, 13, 14, 15,
-                  {16, 17, 18, 19, 20, 21, 22.0, 23.0, {22.0}},
-                  24.0};
+    // fixtures put their whole 24.0/240.0 into the plan row.
+    EngineStats a{1,  2,  3,  4,  5,  6,  7,  8,
+                  9,  10, 11, 12, 13, 14, 15, 16,
+                  {17, 18, 19, 20, 21, 22, 23, 24.0, 25.0, {24.0}},
+                  26.0};
     const EngineStats b{10,  20,  30,  40,  50,  60,  70,  80,
-                        90,  100, 110, 120, 130, 140, 150,
-                        {160, 170, 180, 190, 200, 210, 220.0, 230.0,
-                         {220.0}},
-                        240.0};
+                        90,  100, 110, 120, 130, 140, 150, 160,
+                        {170, 180, 190, 200, 210, 220, 230, 240.0,
+                         250.0, {240.0}},
+                        260.0};
     a += b;
     EXPECT_EQ(a.inputsAccumulated, 11u);
     EXPECT_EQ(a.increments, 22u);
@@ -307,24 +307,26 @@ TEST(EngineStatsMerge, SumsEveryField)
     EXPECT_EQ(a.programCacheMisses, 121u);
     EXPECT_EQ(a.plansExecuted, 132u);
     EXPECT_EQ(a.planPrograms, 143u);
-    EXPECT_EQ(a.plannedOps, 154u);
-    EXPECT_EQ(a.planFallbackOps, 165u);
-    EXPECT_EQ(a.fabric.aap, 176u);
-    EXPECT_EQ(a.fabric.ap, 187u);
-    EXPECT_EQ(a.fabric.tra, 198u);
-    EXPECT_EQ(a.fabric.faultsInjected, 209u);
-    EXPECT_EQ(a.fabric.rowReads, 220u);
-    EXPECT_EQ(a.fabric.rowWrites, 231u);
-    EXPECT_DOUBLE_EQ(a.fabric.fabricNs, 242.0);
-    EXPECT_DOUBLE_EQ(a.fabric.fabricNj, 253.0);
-    EXPECT_DOUBLE_EQ(a.fabric.attr(cim::FabricCat::Plan), 242.0);
+    EXPECT_EQ(a.planLeadPrograms, 154u);
+    EXPECT_EQ(a.plannedOps, 165u);
+    EXPECT_EQ(a.planFallbackOps, 176u);
+    EXPECT_EQ(a.fabric.aap, 187u);
+    EXPECT_EQ(a.fabric.ap, 198u);
+    EXPECT_EQ(a.fabric.tra, 209u);
+    EXPECT_EQ(a.fabric.faultsInjected, 220u);
+    EXPECT_EQ(a.fabric.rowReads, 231u);
+    EXPECT_EQ(a.fabric.rowWrites, 242u);
+    EXPECT_EQ(a.fabric.gangedCommands, 253u);
+    EXPECT_DOUBLE_EQ(a.fabric.fabricNs, 264.0);
+    EXPECT_DOUBLE_EQ(a.fabric.fabricNj, 275.0);
+    EXPECT_DOUBLE_EQ(a.fabric.attr(cim::FabricCat::Plan), 264.0);
     // Bit-exact ledger invariant survives the merge.
     double ledger = 0.0;
     for (double row : a.fabric.attrNs)
         ledger += row;
     EXPECT_EQ(ledger, a.fabric.fabricNs);
     // Critical path is a max over parallel contributors, not a sum.
-    EXPECT_DOUBLE_EQ(a.fabricCriticalNs, 240.0);
+    EXPECT_DOUBLE_EQ(a.fabricCriticalNs, 260.0);
 }
 
 // ---------------------------------------------------------------------
@@ -581,6 +583,205 @@ INSTANTIATE_TEST_SUITE_P(
             return "rca";
         }
     });
+
+// ---------------------------------------------------------------------
+// Hierarchical epoch pipeline (runEpoch): merged plans + gang issue
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** Route @p ops into per-shard epoch buckets and drain them through
+    the hierarchical pipeline in one runEpoch call. */
+void
+drainEpoch(ShardedEngine &eng, const std::vector<BatchOp> &ops,
+           bool stealing = true)
+{
+    std::vector<std::vector<BatchOp>> buckets(eng.numShards());
+    for (const auto &op : ops)
+        buckets[eng.shardOf(op.counter)].push_back(op);
+    std::vector<ShardedEngine::EpochBucket> eb;
+    for (unsigned s = 0; s < eng.numShards(); ++s)
+        if (!buckets[s].empty())
+            eb.push_back({s, buckets[s]});
+    eng.runEpoch(eb, stealing);
+}
+
+/** Gang-issue ledger invariants every drained engine must satisfy. */
+void
+expectGangInvariants(const EngineStats &st, unsigned shards)
+{
+    // Followers are a subset of plan programs, ganged commands a
+    // subset of all commands, and the attribution ledger stays
+    // bit-exact with the PlanFanout row included.
+    EXPECT_LE(st.planLeadPrograms, st.planPrograms);
+    EXPECT_LE(st.fabric.gangedCommands, st.fabric.commands());
+    double ledger = 0.0;
+    for (double row : st.fabric.attrNs)
+        ledger += row;
+    EXPECT_EQ(ledger, st.fabric.fabricNs);
+    if (shards == 1) {
+        // Single-shard plans are all-lead: nothing to gang.
+        EXPECT_EQ(st.planLeadPrograms, st.planPrograms);
+        EXPECT_EQ(st.fabric.gangedCommands, 0u);
+        EXPECT_DOUBLE_EQ(
+            st.fabric.attr(cim::FabricCat::PlanFanout), 0.0);
+    }
+}
+
+} // namespace
+
+class EpochPipeline
+    : public ::testing::TestWithParam<
+          std::tuple<core::BackendKind, unsigned>>
+{
+};
+
+TEST_P(EpochPipeline, UnsignedEpochMatchesSerialReplay)
+{
+    const auto [backend, shards] = GetParam();
+    auto cfg = baseConfig(96);
+    cfg.backend = backend;
+    cfg.capacityBits = 16;
+    const auto ops = positiveOps(800, cfg.numCounters, 77);
+    const auto ref = core::replaySerial(cfg, ops);
+
+    EngineConfig pcfg = cfg;
+    pcfg.drainPlanner = true;
+    ShardedEngine eng(pcfg, shards);
+    drainEpoch(eng, ops);
+    EXPECT_EQ(eng.readAllCounters(), ref);
+
+    const auto st = eng.stats();
+    EXPECT_EQ(st.plannedOps + st.planFallbackOps, ops.size());
+    expectGangInvariants(st, shards);
+    if (shards > 1 && st.plansExecuted >= shards) {
+        // A dense uniform stream touches the same (digit, k) planes
+        // on every shard, so the merged plan must actually gang:
+        // followers exist and are charged in their own ledger row.
+        EXPECT_LT(st.planLeadPrograms, st.planPrograms);
+        EXPECT_GT(st.fabric.gangedCommands, 0u);
+        EXPECT_GT(st.fabric.attr(cim::FabricCat::PlanFanout), 0.0);
+    }
+}
+
+TEST_P(EpochPipeline, SignedEpochFallsBackAndMatches)
+{
+    const auto [backend, shards] = GetParam();
+    auto cfg = baseConfig(64);
+    cfg.backend = backend;
+    cfg.capacityBits = 16;
+    const auto ops = randomOps(300, cfg.numCounters, 83, true);
+    const auto ref = runSingle(cfg, ops);
+
+    EngineConfig pcfg = cfg;
+    pcfg.drainPlanner = true;
+    ShardedEngine eng(pcfg, shards);
+    drainEpoch(eng, ops);
+    EXPECT_EQ(eng.readAllCounters(), ref);
+
+    const auto st = eng.stats();
+    EXPECT_GT(st.planFallbackOps, 0u);
+    expectGangInvariants(st, shards);
+    // Serial replay is never ganged: fallback ns stays per shard.
+    EXPECT_GT(st.fabric.attr(cim::FabricCat::Fallback), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BackendsByShards, EpochPipeline,
+    ::testing::Combine(
+        ::testing::Values(core::BackendKind::Ambit,
+                          core::BackendKind::NvmPinatubo,
+                          core::BackendKind::NvmMagic,
+                          core::BackendKind::Rca),
+        ::testing::Values(1u, 2u, 4u, 8u)),
+    [](const ::testing::TestParamInfo<
+        std::tuple<core::BackendKind, unsigned>> &info) {
+        std::string name;
+        switch (std::get<0>(info.param)) {
+          case core::BackendKind::Ambit:
+            name = "ambit";
+            break;
+          case core::BackendKind::NvmPinatubo:
+            name = "nvm_pinatubo";
+            break;
+          case core::BackendKind::NvmMagic:
+            name = "nvm_magic";
+            break;
+          default:
+            name = "rca";
+            break;
+        }
+        return name + "_x" + std::to_string(std::get<1>(info.param));
+    });
+
+TEST(EpochPipeline, RepeatedEpochsReuseScratchAndStayExact)
+{
+    // Three epochs of different shapes through one engine: the
+    // per-part scratch (planes, tables, step lists) is reused across
+    // runEpoch calls and must never leak state between epochs.
+    auto cfg = baseConfig(128);
+    cfg.capacityBits = 16;
+    EngineConfig pcfg = cfg;
+    pcfg.drainPlanner = true;
+    ShardedEngine eng(pcfg, 4);
+
+    const auto e1 = positiveOps(500, cfg.numCounters, 5);
+    const auto e2 = zipfOps(700, cfg.numCounters, 6);
+    const auto e3 = distinctDeltaOps(cfg.numCounters);
+    drainEpoch(eng, e1);
+    drainEpoch(eng, e2, /*stealing=*/false);
+    drainEpoch(eng, e3);
+
+    std::vector<BatchOp> all = e1;
+    all.insert(all.end(), e2.begin(), e2.end());
+    all.insert(all.end(), e3.begin(), e3.end());
+    EXPECT_EQ(eng.readAllCounters(), core::replaySerial(cfg, all));
+    expectGangInvariants(eng.stats(), 4);
+}
+
+TEST(EpochPipeline, MultiGroupEpochMergesPerGroup)
+{
+    // Groups plan independently even inside one merged epoch: each
+    // group gets its own global plan, sliced across the shards that
+    // hold its ops.
+    auto cfg = baseConfig(64);
+    cfg.numGroups = 3;
+    const auto ops = positiveOps(900, cfg.numCounters, 47, 3);
+
+    EngineConfig pcfg = cfg;
+    pcfg.drainPlanner = true;
+    ShardedEngine eng(pcfg, 4);
+    drainEpoch(eng, ops);
+    for (unsigned g = 0; g < 3; ++g)
+        EXPECT_EQ(eng.readAllCounters(g),
+                  core::replaySerial(cfg, ops, g))
+            << "group " << g;
+    expectGangInvariants(eng.stats(), 4);
+}
+
+TEST(EpochPipeline, MergedPlanAttributionSublinearInShards)
+{
+    // The tentpole claim: one gang-issued global plan instead of N
+    // replicated per-shard plans. Lead programs stop scaling with
+    // the shard count, so 8-shard plan attribution must stay well
+    // under 4x the 1-shard cost for the same stream (it was exactly
+    // 8x under replication).
+    auto cfg = baseConfig(256);
+    cfg.capacityBits = 16;
+    cfg.drainPlanner = true;
+    const auto ops = positiveOps(4000, cfg.numCounters, 91);
+
+    auto planAttr = [&](unsigned shards) {
+        ShardedEngine eng(cfg, shards);
+        drainEpoch(eng, ops);
+        EXPECT_GT(eng.stats().plansExecuted, 0u);
+        return eng.stats().fabric.attr(cim::FabricCat::Plan);
+    };
+    const double one = planAttr(1);
+    const double eight = planAttr(8);
+    EXPECT_GT(one, 0.0);
+    EXPECT_LT(eight, 4.0 * one);
+}
 
 TEST(DrainPlanner, ProtectedConfigsStayExact)
 {

@@ -41,7 +41,7 @@ const char *const kIdentityKeys[] = {"shards",        "producers",
 const char *const kHostMetrics[] = {
     "time_s", "ops_per_s", "speedup",  "rss_kb",
     "trace_events", "epochs", "steals", "stalls",
-    "watchdog_evaluations"};
+    "watchdog_evaluations", "planner_speedup_8"};
 
 bool
 inList(const std::string &key, const char *const *list, size_t n)
